@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one table/figure/ablation from DESIGN.md's
+experiment index and *asserts the paper's qualitative shape* (who wins,
+by roughly what factor).  Experiment benchmarks execute exactly once
+(``pedantic(rounds=1, iterations=1)``) because each run is a full
+training experiment; micro-benchmarks use normal timing loops.
+
+``REPRO_BENCH_SCALE`` (default ``small``) selects the experiment scale:
+
+* ``small`` — minutes; scaled-down data, same scheme structure;
+* ``paper`` — the full §III configuration used for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in ("small", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be small|paper, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+def run_once(benchmark, fn):
+    """Run a whole-experiment benchmark exactly once under timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Abl-1 — cut-layer selection (paper §IV future work).
+
+Sweeps every valid cut of the DeepThin CNN and prices one client's
+split-training round against the wireless scenario.  Asserts the
+structural facts the sweep must show:
+
+* cuts immediately after pooling stages are local latency minima
+  (pooling shrinks the smashed payload 4x);
+* client compute grows monotonically with cut depth while the
+  client+server total stays constant.
+"""
+
+from __future__ import annotations
+
+from repro.core.cut_layer import analyze_cuts, best_cut
+from repro.experiments import paper_scenario
+
+
+def test_ablation_cut_layer(benchmark):
+    scenario = paper_scenario(with_wireless=True)
+    built = scenario.build()
+
+    def sweep():
+        return best_cut(
+            built.profile,
+            built.system,
+            batch_size=scenario.scheme.batch_size,
+            local_steps=scenario.scheme.local_steps,
+            bandwidth_hz=built.system.allocator.total_bandwidth_hz / scenario.num_groups,
+        )
+
+    best, sweep_rows = benchmark(sweep)
+    latency = dict(sweep_rows)
+
+    print()
+    print("Abl-1: estimated local-round latency per cut layer")
+    print(f"{'cut':>4} {'latency (ms)':>13}")
+    for cut, t in sweep_rows:
+        print(f"{cut:>4} {t * 1e3:>13.2f}{'   <- best' if cut == best else ''}")
+
+    # DeepThin pooling stages sit at layers 3 and 7 (0-indexed), so cuts 4
+    # and 8 carry 4x smaller smashed payloads than the cut just before.
+    assert latency[4] < latency[3]
+    assert latency[8] < latency[7]
+    # Best overall must be one of the pooled cuts.
+    assert best in (4, 8)
+
+    cuts = analyze_cuts(built.profile)
+    fwd = [c.client_forward_flops for c in cuts]
+    assert fwd == sorted(fwd), "client compute must grow with cut depth"
+    totals = {c.client_forward_flops + c.server_forward_flops for c in cuts}
+    assert len(totals) == 1, "cut must partition total compute exactly"

@@ -1,0 +1,75 @@
+"""Abl-2 — group count and grouping strategy (paper §IV future work).
+
+Sweeps M from 1 (vanilla SL plus aggregation) to N (SplitFed) and runs
+one real training round per configuration, reporting the simulated round
+latency.  Asserts the interpolation shape: round latency decreases
+monotonically as groups parallelize the round, with diminishing returns
+set by the shared spectrum.
+
+Also compares grouping strategies on a heterogeneous fleet: balanced
+grouping must not lose to naive contiguous grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import run_once
+from repro.experiments import fast_scenario, make_scheme
+
+
+def test_ablation_group_count(benchmark):
+    num_clients = 12
+    sweep_m = [1, 2, 3, 4, 6, 12]
+
+    def experiment():
+        latencies = {}
+        for m in sweep_m:
+            scenario = fast_scenario(
+                with_wireless=True, num_clients=num_clients, num_groups=m
+            )
+            built = scenario.build()
+            history = make_scheme("GSFL", built).run(1)
+            latencies[m] = history.total_latency_s
+        return latencies
+
+    latencies = run_once(benchmark, experiment)
+
+    print()
+    print("Abl-2a: GSFL round latency vs group count (N=12)")
+    print(f"{'M':>4} {'round latency (s)':>18}")
+    for m in sweep_m:
+        print(f"{m:>4} {latencies[m]:>18.3f}")
+
+    values = [latencies[m] for m in sweep_m]
+    # Monotone decreasing: more parallel groups -> cheaper rounds.
+    assert all(a > b for a, b in zip(values, values[1:])), values
+    # Diminishing returns: the 1->2 gain dwarfs the 6->12 gain.
+    assert (values[0] - values[1]) > (values[4] - values[5])
+    benchmark.extra_info["latency_by_m"] = {m: round(v, 4) for m, v in latencies.items()}
+
+
+def test_ablation_grouping_strategy(benchmark):
+    def experiment():
+        results = {}
+        for strategy in ("contiguous", "random", "compute_balanced"):
+            scenario = fast_scenario(with_wireless=True, num_clients=12, num_groups=3)
+            scenario.wireless = replace(scenario.wireless, heterogeneity=0.8)
+            built = scenario.build()
+            history = make_scheme("GSFL", built, grouping=strategy).run(1)
+            results[strategy] = history.total_latency_s
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    print()
+    print("Abl-2b: grouping strategy on a heterogeneous fleet (round latency)")
+    for strategy, latency in results.items():
+        print(f"{strategy:>18}: {latency:.3f} s")
+
+    # Balanced grouping must not be worse than naive contiguous grouping
+    # (small tolerance: the fleet draw decides how much there is to win).
+    assert results["compute_balanced"] <= results["contiguous"] * 1.05
+    benchmark.extra_info["latency_by_strategy"] = {
+        k: round(v, 4) for k, v in results.items()
+    }

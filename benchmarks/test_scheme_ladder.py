@@ -1,0 +1,60 @@
+"""Scheme ladder — one-round latency and storage across all six schemes.
+
+A cross-cutting view the paper's Fig 1 implies but never tabulates: for
+the same round of work, how do the schemes rank in wall-clock latency,
+bytes over the air, and edge storage?
+
+Asserts the structural ordering:
+
+* serial SL is the slowest split scheme; parallel variants (SplitFed,
+  PSL) are the fastest; GSFL sits in between;
+* SL/PSL keep one server replica, GSFL M, SplitFed N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import run_once
+from repro.experiments import fast_scenario, make_scheme
+
+
+def test_scheme_ladder(benchmark):
+    names = ["CL", "FL", "SL", "PSL", "SplitFed", "GSFL"]
+
+    def experiment():
+        rows = {}
+        for name in names:
+            scenario = fast_scenario(with_wireless=True, num_clients=12, num_groups=3)
+            scenario.wireless = replace(scenario.wireless, deterministic_rates=True)
+            built = scenario.build()
+            scheme = make_scheme(name, built)
+            history = scheme.run(1)
+            rows[name] = {
+                "round_s": history.total_latency_s,
+                "air_bytes": scheme.recorder.total_bytes(),
+                "replicas": getattr(scheme, "server_side_replicas", lambda: 0)(),
+            }
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print()
+    print("Scheme ladder (N=12, M=3, one round, deterministic rates)")
+    print(f"{'scheme':>9} {'round (s)':>10} {'air kB':>9} {'replicas':>9}")
+    for name in names:
+        r = rows[name]
+        print(f"{name:>9} {r['round_s']:>10.3f} {r['air_bytes'] / 1e3:>9.1f} "
+              f"{r['replicas']:>9}")
+
+    # latency ordering among the split family
+    assert rows["SplitFed"]["round_s"] < rows["GSFL"]["round_s"] < rows["SL"]["round_s"]
+    assert rows["PSL"]["round_s"] < rows["SL"]["round_s"]
+    # storage ordering
+    assert rows["SL"]["replicas"] == rows["PSL"]["replicas"] == 1
+    assert rows["GSFL"]["replicas"] == 3
+    assert rows["SplitFed"]["replicas"] == 12
+    benchmark.extra_info["rows"] = {
+        k: {kk: round(vv, 4) if isinstance(vv, float) else vv for kk, vv in v.items()}
+        for k, v in rows.items()
+    }

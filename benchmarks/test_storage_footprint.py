@@ -1,0 +1,46 @@
+"""Storage-footprint comparison (paper §I).
+
+"When there are many clients, the number of server-side models is large,
+consuming prohibitive storage resources" — the argument against naive
+SplitFed that motivates GSFL's M ≪ N replicas.
+
+Asserts the exact N/M replica-storage ratio between SplitFed and GSFL
+and prints the byte accounting per scheme.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_scenario, make_scheme
+
+
+def test_storage_footprint(benchmark):
+    scenario = paper_scenario(with_wireless=True)
+    built = scenario.build()
+
+    def accounting():
+        gsfl = make_scheme("GSFL", built)
+        splitfed = make_scheme("SplitFed", built)
+        cut = scenario.resolved_cut_layer()
+        return {
+            "server_model_bytes": built.profile.server_model_bytes(cut),
+            "gsfl_replicas": gsfl.server_side_replicas(),
+            "gsfl_bytes": gsfl.server_storage_bytes(),
+            "splitfed_replicas": splitfed.server_side_replicas(),
+            "splitfed_bytes": splitfed.server_storage_bytes(),
+        }
+
+    result = benchmark(accounting)
+
+    print()
+    print("Storage at the edge server (server-side model replicas)")
+    print(f"one server-side replica : {result['server_model_bytes'] / 1e3:.1f} kB")
+    print(f"GSFL     (M={result['gsfl_replicas']:>2}) : {result['gsfl_bytes'] / 1e3:.1f} kB")
+    print(f"SplitFed (N={result['splitfed_replicas']:>2}) : "
+          f"{result['splitfed_bytes'] / 1e3:.1f} kB")
+
+    n, m = result["splitfed_replicas"], result["gsfl_replicas"]
+    assert n == scenario.num_clients and m == scenario.num_groups
+    assert result["splitfed_bytes"] == n * result["server_model_bytes"]
+    assert result["gsfl_bytes"] == m * result["server_model_bytes"]
+    assert result["splitfed_bytes"] / result["gsfl_bytes"] == n / m
+    benchmark.extra_info["storage_ratio"] = n / m

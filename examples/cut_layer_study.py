@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Cut-layer selection study (the paper's §IV future-work item).
+
+Profiles the DeepThin CNN, tabulates every candidate cut's client
+compute / smashed payload / client-model size trade-off, then prices one
+client's split-training round per cut against the wireless scenario and
+reports the latency-minimizing cut.
+
+Takes a few seconds — this is a pure latency-model study, no training.
+
+Usage::
+
+    python examples/cut_layer_study.py
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.core.cut_layer import analyze_cuts, best_cut
+from repro.experiments import paper_scenario
+
+
+def main() -> None:
+    scenario = paper_scenario(with_wireless=True)
+    built = scenario.build()
+    profile, system = built.profile, built.system
+
+    print("=== model profile ===")
+    print(profile.summary())
+    print()
+
+    print("=== per-cut cost structure (per sample / per relay) ===")
+    header = (
+        f"{'cut':>4} {'client kFLOP':>13} {'server kFLOP':>13} "
+        f"{'smashed B':>10} {'client model B':>15}"
+    )
+    print(header)
+    for cut in analyze_cuts(profile):
+        print(
+            f"{cut.cut_layer:>4} {cut.client_forward_flops / 1e3:>13.1f} "
+            f"{cut.server_forward_flops / 1e3:>13.1f} "
+            f"{cut.smashed_bytes_per_sample:>10} {cut.client_model_bytes:>15}"
+        )
+    print()
+
+    batch = scenario.scheme.batch_size
+    bandwidth = system.allocator.total_bandwidth_hz / scenario.num_groups
+    best, sweep = best_cut(
+        profile, system, batch_size=batch, local_steps=scenario.scheme.local_steps,
+        bandwidth_hz=bandwidth,
+    )
+    print(f"=== estimated local-round latency per cut "
+          f"(batch={batch}, B/M={bandwidth / 1e6:.1f} MHz) ===")
+    for cut, latency in sweep:
+        marker = "  <== best" if cut == best else ""
+        print(f"cut {cut:>2}: {latency * 1e3:8.2f} ms{marker}")
+    print()
+    print(f"latency-minimizing cut for one client's round: {best} "
+          f"(paper scenario pins cut {scenario.resolved_cut_layer()})")
+    print()
+    print("Reading the table: cuts right after a pooling stage (4, 8) are "
+          "the local minima — pooling shrinks the smashed payload 4x.  The "
+          "estimator prices a single client's round, where the shallow "
+          "pooled cut wins on these slow devices; the paper scenario pins "
+          "the deeper pooled cut because, across the full GSFL-vs-SL "
+          "comparison, the extra client compute it shifts off the shared "
+          "server is parallelized M-ways while SL pays it serially.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Client-grouping study (the paper's §IV future-work item).
+
+Two questions the paper defers:
+
+1. **How many groups?**  M interpolates GSFL between vanilla SL (M=1)
+   and SplitFed (M=N).  We sweep M and report the simulated round
+   latency — more groups parallelize compute but shrink each
+   transmitter's bandwidth share.
+2. **Which clients together?**  On a heterogeneous fleet, balanced
+   grouping shortens the aggregation barrier.  We compare contiguous /
+   random / compute-balanced grouping on a fleet with 10x compute spread.
+
+Runs one training round per configuration (~1 minute).
+
+Usage::
+
+    python examples/grouping_study.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments import fast_scenario, make_scheme
+
+
+def sweep_group_count() -> None:
+    print("=== round latency vs number of groups (M) ===")
+    scenario = fast_scenario(with_wireless=True, num_clients=12, num_groups=2)
+    print(f"{'M':>3} {'round latency (s)':>18} {'regime':<28}")
+    for m in (1, 2, 3, 4, 6, 12):
+        sc = fast_scenario(with_wireless=True, num_clients=12, num_groups=m)
+        built = sc.build()
+        scheme = make_scheme("GSFL", built)
+        history = scheme.run(1)
+        regime = {1: "= vanilla SL (+agg)", 12: "= SplitFed"}.get(m, "")
+        print(f"{m:>3} {history.total_latency_s:>18.3f} {regime:<28}")
+    print()
+
+
+def compare_grouping_strategies() -> None:
+    print("=== grouping strategy on a heterogeneous fleet (round latency) ===")
+    sc = fast_scenario(with_wireless=True, num_clients=12, num_groups=3)
+    # 10x log-normal compute spread across clients
+    sc.wireless = replace(sc.wireless, heterogeneity=0.8)
+    for strategy in ("contiguous", "random", "compute_balanced"):
+        built = sc.build()
+        scheme = make_scheme("GSFL", built, grouping=strategy)
+        history = scheme.run(1)
+        print(f"{strategy:>18}: {history.total_latency_s:8.3f} s")
+    print()
+    print("Compute-balanced grouping splits the slow devices across groups, "
+          "so no single group drags the aggregation barrier.")
+
+
+def main() -> None:
+    sweep_group_count()
+    compare_grouping_strategies()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Privacy and energy: the two costs the latency numbers hide.
+
+**Privacy** — split learning ships activations instead of raw images,
+but activations leak.  We run an inversion attack (decoder trained on a
+shadow set) and distance correlation at every cut of the micro CNN:
+deeper cuts leak less, which pulls *against* the shallow-cut preference
+of pure compute-offloading.
+
+**Energy** — the same latency traces the schemes already emit are priced
+in joules per client (transmit / receive / compute / idle).  GSFL's
+shorter rounds also mean less radio-on time per round for each device.
+
+Runs in ~1 minute.
+
+Usage::
+
+    python examples/privacy_energy_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import sweep_cut_privacy
+from repro.data.gtsrb import GtsrbConfig, SyntheticGTSRB
+from repro.experiments import fast_scenario, make_scheme
+from repro.wireless.energy import EnergyModel
+
+
+def privacy_study() -> None:
+    print("=== inversion attack vs cut layer (micro CNN) ===")
+    cfg = GtsrbConfig(
+        num_classes=10, image_size=16, train_per_class=30, test_per_class=8, seed=0
+    )
+    train, test = SyntheticGTSRB(cfg).train_test()
+    scenario = fast_scenario(with_wireless=False)
+    model = scenario.make_model()
+
+    reports = sweep_cut_privacy(
+        model,
+        shadow_images=train.images[:200],
+        test_images=test.images[:40],
+        steps=150,
+    )
+    print(f"{'cut':>4} {'attack MSE':>11} {'baseline MSE':>13} "
+          f"{'leakage':>8} {'dist. corr':>11}")
+    for r in reports:
+        print(f"{r.cut_layer:>4} {r.attack_mse:>11.4f} {r.baseline_mse:>13.4f} "
+              f"{r.leakage:>8.2f} {r.distance_corr:>11.3f}")
+    print("(leakage 1.0 = perfect reconstruction, 0.0 = attacker learned "
+          "nothing)")
+    print("Distance correlation falls monotonically with cut depth — the "
+          "model-free leakage signal shrinks as more layers compress the "
+          "input.  The decoder attack is noisier: pooled activations are "
+          "lower-dimensional and thus *easier* for a small decoder to "
+          "exploit, a known subtlety when measuring leakage with learned "
+          "inversions.")
+    print()
+
+
+def energy_study() -> None:
+    print("=== per-client energy, GSFL vs SL (3 rounds) ===")
+    energy_model = EnergyModel()
+    for name in ("SL", "GSFL"):
+        built = fast_scenario(with_wireless=True).build()
+        scheme = make_scheme(name, built)
+        history = scheme.run(3)
+        fleet = energy_model.fleet_energy(
+            scheme.recorder, total_span_s=history.total_latency_s
+        )
+        per_round = energy_model.energy_by_round(scheme.recorder)
+        print(f"--- {name} (total latency {history.total_latency_s:.2f} s) ---")
+        print(f"fleet energy: tx {fleet.tx_j:.2f} J, rx {fleet.rx_j:.2f} J, "
+              f"compute {fleet.compute_j:.2f} J, idle {fleet.idle_j:.2f} J "
+              f"=> total {fleet.total_j:.2f} J")
+        print("active energy per round:",
+              {r: round(j, 2) for r, j in sorted(per_round.items())})
+    print()
+    print("Compute energy is identical (same training work), but GSFL's "
+          "parallel groups finish the round sooner, cutting each client's "
+          "idle radio-on drain; at paper scale the idle gap widens with "
+          "the serial relay length N.")
+
+
+def main() -> None:
+    privacy_study()
+    energy_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro — reproduction of "Split Federated Learning: Speed up Model
+Training in Resource-Limited Wireless Networks" (GSFL, ICDCS 2023).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch numpy deep-learning framework (autograd, CNN layers,
+    optimizers, model splitting, profiling).
+``repro.data``
+    Synthetic GTSRB-like dataset, loaders, federated partitioning.
+``repro.wireless``
+    Topology, channel (path loss / fading / Shannon rate), devices,
+    bandwidth allocation.
+``repro.sim``
+    Deterministic discrete-event simulation kernel + latency traces.
+``repro.schemes``
+    CL / FL / SL / SplitFed baselines.
+``repro.core``
+    GSFL and its design knobs (grouping, aggregation, cut-layer
+    selection, inter-group resource allocation).
+``repro.metrics``
+    Histories, evaluation, paper-claim reports.
+``repro.experiments``
+    Scenario presets and the Fig 2(a)/2(b) regeneration harnesses.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

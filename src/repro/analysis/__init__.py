@@ -1,0 +1,20 @@
+"""``repro.analysis`` — post-hoc analyses of trained split models.
+
+Privacy leakage of the smashed-data channel (inversion attack + distance
+correlation) — the standard split-learning concern the cut layer also
+controls.
+"""
+
+from repro.analysis.privacy import (
+    PrivacyReport,
+    distance_correlation,
+    reconstruction_attack,
+    sweep_cut_privacy,
+)
+
+__all__ = [
+    "PrivacyReport",
+    "distance_correlation",
+    "reconstruction_attack",
+    "sweep_cut_privacy",
+]

@@ -1,0 +1,181 @@
+"""Command-line interface for running experiments.
+
+Usage::
+
+    python -m repro.cli fig2a --rounds 20 --train-per-class 12
+    python -m repro.cli fig2b --rounds 26 --target 0.75
+    python -m repro.cli run --scheme GSFL --rounds 10 --groups 6
+    python -m repro.cli cuts
+    python -m repro.cli info
+
+Every subcommand prints plain-text tables (no plotting dependencies); the
+same harness functions back the benchmark suite, so CLI runs and bench
+runs are directly comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.figures import run_fig2a, run_fig2b
+from repro.experiments.runner import SCHEME_REGISTRY, make_scheme
+from repro.experiments.scenario import fast_scenario, paper_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GSFL reproduction experiments (ICDCS 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0, help="scenario seed")
+    common.add_argument(
+        "--scale",
+        choices=("fast", "paper"),
+        default="paper",
+        help="scenario preset (fast: 6 clients/10 classes; paper: 30/43)",
+    )
+    common.add_argument(
+        "--train-per-class", type=int, default=None,
+        help="override training samples per class",
+    )
+
+    p2a = sub.add_parser("fig2a", parents=[common], help="accuracy vs rounds (Fig 2a)")
+    p2a.add_argument("--rounds", type=int, default=20)
+    p2a.add_argument("--target", type=float, default=0.6)
+
+    p2b = sub.add_parser("fig2b", parents=[common], help="accuracy vs latency (Fig 2b)")
+    p2b.add_argument("--rounds", type=int, default=26)
+    p2b.add_argument("--target", type=float, default=0.75)
+
+    prun = sub.add_parser("run", parents=[common], help="run one scheme")
+    prun.add_argument("--scheme", choices=sorted(SCHEME_REGISTRY), default="GSFL")
+    prun.add_argument("--rounds", type=int, default=10)
+    prun.add_argument("--groups", type=int, default=None, help="GSFL group count")
+    prun.add_argument("--cut-layer", type=int, default=None)
+    prun.add_argument("--quantize-bits", type=int, default=None)
+    prun.add_argument("--failure-rate", type=float, default=0.0)
+
+    sub.add_parser("cuts", parents=[common], help="cut-layer latency sweep")
+    sub.add_parser("info", parents=[common], help="print the scenario summary")
+    return parser
+
+
+def _scenario(args: argparse.Namespace):
+    if args.scale == "fast":
+        scenario = fast_scenario(with_wireless=True, seed=args.seed)
+    else:
+        scenario = paper_scenario(with_wireless=True, seed=args.seed)
+    if args.train_per_class is not None:
+        from dataclasses import replace
+
+        scenario.dataset = replace(scenario.dataset, train_per_class=args.train_per_class)
+    return scenario
+
+
+def _cmd_fig2a(args: argparse.Namespace) -> int:
+    scenario = _scenario(args)
+    scenario.wireless = None  # accuracy axis only
+    result = run_fig2a(scenario, num_rounds=args.rounds, target_accuracy=args.target,
+                       verbose=True)
+    print()
+    print(result.table)
+    speedup = result.gsfl_over_fl_speedup
+    print(f"\nGSFL-over-FL speedup @ {args.target:.0%}: "
+          f"{'unreached' if speedup is None else f'{speedup:.1f}x'} (paper ~5x)")
+    return 0
+
+
+def _cmd_fig2b(args: argparse.Namespace) -> int:
+    scenario = _scenario(args)
+    result = run_fig2b(scenario, num_rounds=args.rounds, target_accuracy=args.target,
+                       verbose=True)
+    print()
+    print(result.table)
+    reduction = result.delay_reduction
+    print(f"\nGSFL delay reduction vs SL @ {args.target:.0%}: "
+          f"{'unreached' if reduction is None else f'{reduction:.1%}'} (paper ~31.45%)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _scenario(args)
+    if args.cut_layer is not None:
+        scenario.cut_layer = args.cut_layer
+    if args.groups is not None:
+        scenario.num_groups = args.groups
+    if args.quantize_bits is not None:
+        from dataclasses import replace
+
+        scenario.scheme = replace(scenario.scheme, quantize_bits=args.quantize_bits)
+    built = scenario.build()
+    overrides = {}
+    if args.scheme == "GSFL" and args.failure_rate > 0:
+        overrides["failure_rate"] = args.failure_rate
+    scheme = make_scheme(args.scheme, built, **overrides)
+    history = scheme.run(args.rounds)
+    print(f"{'round':>6} {'latency_s':>10} {'loss':>8} {'accuracy':>9}")
+    for p in history.points:
+        print(f"{p.round_index:>6} {p.latency_s:>10.2f} {p.train_loss:>8.3f} "
+              f"{p.test_accuracy:>9.3f}")
+    print()
+    print(history.summary())
+    return 0
+
+
+def _cmd_cuts(args: argparse.Namespace) -> int:
+    from repro.core.cut_layer import best_cut
+
+    scenario = _scenario(args)
+    built = scenario.build()
+    best, sweep = best_cut(
+        built.profile,
+        built.system,
+        batch_size=scenario.scheme.batch_size,
+        local_steps=scenario.scheme.local_steps,
+        bandwidth_hz=built.system.allocator.total_bandwidth_hz / scenario.num_groups,
+    )
+    print(f"{'cut':>4} {'latency (ms)':>13}")
+    for cut, latency in sweep:
+        print(f"{cut:>4} {latency * 1e3:>13.2f}{'   <- best' if cut == best else ''}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    scenario = _scenario(args)
+    built = scenario.build()
+    print(f"scheme presets : N={scenario.num_clients}, M={scenario.num_groups}, "
+          f"model={scenario.model_name}, cut={scenario.resolved_cut_layer()}")
+    print(f"dataset        : {scenario.dataset.num_classes} classes, "
+          f"{sum(len(d) for d in built.client_datasets)} train / "
+          f"{len(built.test_dataset)} test samples, "
+          f"{scenario.dataset.image_size}x{scenario.dataset.image_size}")
+    if built.profile is not None:
+        print()
+        print(built.profile.summary())
+    return 0
+
+
+_COMMANDS = {
+    "fig2a": _cmd_fig2a,
+    "fig2b": _cmd_fig2b,
+    "run": _cmd_run,
+    "cuts": _cmd_cuts,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

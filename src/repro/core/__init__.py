@@ -1,0 +1,43 @@
+"""``repro.core`` — the paper's contribution and its design knobs.
+
+GSFL itself (:mod:`repro.core.gsfl`), client grouping strategies, FedAvg
+aggregation, cut-layer analysis/selection, and inter-group bandwidth
+apportioning (the §IV future-work axes, built for the ablations).
+"""
+
+from repro.core.aggregation import fedavg, uniform_average, weighted_delta
+from repro.core.cut_layer import CutAnalysis, analyze_cuts, best_cut, estimate_round_latency
+from repro.core.gsfl import GroupSplitFederatedLearning
+from repro.core.grouping import (
+    channel_aware_groups,
+    compute_balanced_groups,
+    contiguous_groups,
+    make_groups,
+    random_groups,
+    validate_groups,
+)
+from repro.core.resource import (
+    GroupWorkload,
+    equal_bandwidth_split,
+    minmax_bandwidth_split,
+)
+
+__all__ = [
+    "GroupSplitFederatedLearning",
+    "fedavg",
+    "uniform_average",
+    "weighted_delta",
+    "contiguous_groups",
+    "random_groups",
+    "compute_balanced_groups",
+    "channel_aware_groups",
+    "make_groups",
+    "validate_groups",
+    "CutAnalysis",
+    "analyze_cuts",
+    "best_cut",
+    "estimate_round_latency",
+    "GroupWorkload",
+    "equal_bandwidth_split",
+    "minmax_bandwidth_split",
+]

@@ -1,0 +1,84 @@
+"""FedAvg-style aggregation over model state dicts.
+
+The paper (§II-C): "AP aggregates all the server-side models and
+client-side models into a new one respectively.  Model aggregation can be
+conducted through FedAVG."  Aggregation is a weighted average of every
+parameter *and buffer* (batch-norm running statistics average like
+parameters, the standard FedAvg-BN treatment).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.nn.serialize import state_num_scalars
+
+__all__ = ["fedavg", "uniform_average", "weighted_delta"]
+
+
+def fedavg(
+    states: list[dict[str, np.ndarray]], weights: list[float] | np.ndarray | None = None
+) -> "OrderedDict[str, np.ndarray]":
+    """Weighted average of state dicts (weights normalized internally).
+
+    Weights are typically per-participant sample counts.  All states must
+    share identical keys and shapes.
+    """
+    if not states:
+        raise ValueError("fedavg needs at least one state dict")
+    keys = list(states[0].keys())
+    for i, state in enumerate(states[1:], start=1):
+        if list(state.keys()) != keys:
+            raise ValueError(f"state {i} has mismatched keys")
+        if state_num_scalars(state) != state_num_scalars(states[0]):
+            raise ValueError(f"state {i} has mismatched sizes")
+
+    if weights is None:
+        weights = np.ones(len(states))
+    weights = np.asarray(weights, dtype=np.float64)
+    if len(weights) != len(states):
+        raise ValueError(f"{len(weights)} weights for {len(states)} states")
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    weights = weights / weights.sum()
+
+    out: OrderedDict[str, np.ndarray] = OrderedDict()
+    for key in keys:
+        first = np.asarray(states[0][key], dtype=np.float64)
+        acc = np.zeros_like(first)
+        for state, w in zip(states, weights):
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != first.shape:
+                raise ValueError(
+                    f"shape mismatch for key {key!r}: {value.shape} vs {first.shape}"
+                )
+            acc += w * value
+        out[key] = acc
+    return out
+
+
+def uniform_average(states: list[dict[str, np.ndarray]]) -> "OrderedDict[str, np.ndarray]":
+    """Unweighted FedAvg."""
+    return fedavg(states, weights=None)
+
+
+def weighted_delta(
+    base: dict[str, np.ndarray],
+    states: list[dict[str, np.ndarray]],
+    weights: list[float] | np.ndarray | None = None,
+    server_lr: float = 1.0,
+) -> "OrderedDict[str, np.ndarray]":
+    """FedOpt-style update: ``base + server_lr * (fedavg(states) - base)``.
+
+    With ``server_lr=1`` this equals plain FedAvg; other values implement
+    server-side damping/acceleration (an extension beyond the paper, used
+    in ablations).
+    """
+    avg = fedavg(states, weights)
+    out: OrderedDict[str, np.ndarray] = OrderedDict()
+    for key, value in avg.items():
+        base_v = np.asarray(base[key], dtype=np.float64)
+        out[key] = base_v + server_lr * (value - base_v)
+    return out

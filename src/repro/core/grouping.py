@@ -1,0 +1,142 @@
+"""Client grouping strategies.
+
+GSFL partitions the ``N`` clients into ``M`` groups (paper §II); *how* to
+group is explicitly left to future work (§IV: "we will study the impact
+of ... client grouping on the system performance").  Implemented
+strategies:
+
+* ``contiguous`` — clients 0..k-1, k..2k-1, ... (deterministic baseline);
+* ``random`` — uniformly random balanced partition;
+* ``compute_balanced`` — greedy longest-processing-time assignment so the
+  summed client compute capability per group is even (fast groups don't
+  idle at the aggregation barrier);
+* ``channel_aware`` — LPT on expected per-bit airtime so the summed
+  transmission burden per group is even.
+
+All strategies return ``list[list[int]]`` that exactly partitions
+``range(num_clients)`` with group sizes differing by at most one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+__all__ = [
+    "contiguous_groups",
+    "random_groups",
+    "compute_balanced_groups",
+    "channel_aware_groups",
+    "make_groups",
+    "validate_groups",
+]
+
+
+def _check(num_clients: int, num_groups: int) -> None:
+    if num_groups <= 0:
+        raise ValueError(f"num_groups must be positive, got {num_groups}")
+    if num_clients < num_groups:
+        raise ValueError(
+            f"cannot form {num_groups} non-empty groups from {num_clients} clients"
+        )
+
+
+def contiguous_groups(num_clients: int, num_groups: int) -> list[list[int]]:
+    """Split 0..N-1 into consecutive runs (sizes differ by at most 1)."""
+    _check(num_clients, num_groups)
+    parts = np.array_split(np.arange(num_clients), num_groups)
+    return [part.tolist() for part in parts]
+
+
+def random_groups(
+    num_clients: int, num_groups: int, seed: int | np.random.Generator | None = None
+) -> list[list[int]]:
+    """Uniformly random balanced partition."""
+    _check(num_clients, num_groups)
+    rng = new_rng(seed)
+    order = rng.permutation(num_clients)
+    parts = np.array_split(order, num_groups)
+    return [sorted(part.tolist()) for part in parts]
+
+
+def _balanced_lpt(costs: np.ndarray, num_groups: int) -> list[list[int]]:
+    """Greedy LPT assignment balancing summed cost, respecting size balance.
+
+    Clients are taken in decreasing cost order; each goes to the group with
+    the smallest current total cost among groups that still have capacity
+    (max size = ceil(N / M)), keeping group sizes within one of each other.
+    """
+    n = len(costs)
+    max_size = -(-n // num_groups)  # ceil
+    groups: list[list[int]] = [[] for _ in range(num_groups)]
+    totals = np.zeros(num_groups)
+    for client in np.argsort(-costs, kind="stable"):
+        eligible = [g for g in range(num_groups) if len(groups[g]) < max_size]
+        target = min(eligible, key=lambda g: (totals[g], len(groups[g]), g))
+        groups[target].append(int(client))
+        totals[target] += costs[client]
+    return [sorted(g) for g in groups]
+
+
+def compute_balanced_groups(
+    client_flops: np.ndarray, num_groups: int
+) -> list[list[int]]:
+    """Balance summed *compute time* per group (cost = 1/FLOPS)."""
+    client_flops = np.asarray(client_flops, dtype=np.float64)
+    _check(len(client_flops), num_groups)
+    if np.any(client_flops <= 0):
+        raise ValueError("client FLOPS must be positive")
+    return _balanced_lpt(1.0 / client_flops, num_groups)
+
+
+def channel_aware_groups(
+    per_bit_airtime: np.ndarray, num_groups: int
+) -> list[list[int]]:
+    """Balance summed transmission time per group.
+
+    ``per_bit_airtime`` is seconds/bit per client (1/mean uplink rate).
+    """
+    per_bit_airtime = np.asarray(per_bit_airtime, dtype=np.float64)
+    _check(len(per_bit_airtime), num_groups)
+    if np.any(per_bit_airtime <= 0):
+        raise ValueError("airtime costs must be positive")
+    return _balanced_lpt(per_bit_airtime, num_groups)
+
+
+def make_groups(
+    strategy: str,
+    num_clients: int,
+    num_groups: int,
+    seed: int | np.random.Generator | None = None,
+    client_flops: np.ndarray | None = None,
+    per_bit_airtime: np.ndarray | None = None,
+) -> list[list[int]]:
+    """Strategy dispatch by name (see module docstring for the options)."""
+    if strategy == "contiguous":
+        return contiguous_groups(num_clients, num_groups)
+    if strategy == "random":
+        return random_groups(num_clients, num_groups, seed)
+    if strategy == "compute_balanced":
+        if client_flops is None:
+            raise ValueError("compute_balanced grouping requires client_flops")
+        return compute_balanced_groups(client_flops, num_groups)
+    if strategy == "channel_aware":
+        if per_bit_airtime is None:
+            raise ValueError("channel_aware grouping requires per_bit_airtime")
+        return channel_aware_groups(per_bit_airtime, num_groups)
+    raise ValueError(
+        f"unknown grouping strategy {strategy!r}; expected contiguous / random / "
+        "compute_balanced / channel_aware"
+    )
+
+
+def validate_groups(groups: list[list[int]], num_clients: int) -> None:
+    """Raise ``ValueError`` unless ``groups`` exactly partition the clients."""
+    if any(len(g) == 0 for g in groups):
+        raise ValueError("groups must be non-empty")
+    flat = sorted(c for g in groups for c in g)
+    if flat != list(range(num_clients)):
+        raise ValueError(
+            f"groups must partition range({num_clients}); got a partition of {flat[:5]}..."
+        )

@@ -1,0 +1,124 @@
+"""Inter-group bandwidth apportioning (the paper's §IV future-work item).
+
+During GSFL's training phase the ``M`` groups transmit concurrently and
+the system bandwidth must be divided among them.  A group's round time is
+(approximately) monotone decreasing in its bandwidth share, so the
+min-max-latency split equalizes group finishing times.  This module
+implements that optimizer: given each group's fixed compute time and
+transmission workload (bits·"per-bit airtime at unit bandwidth" is not
+linear because Shannon rate is not linear in bandwidth — we solve
+numerically on the true rate curve).
+
+``minmax_bandwidth_split`` uses bisection on the achievable round time:
+for a candidate time ``t``, each group needs bandwidth ``b_g(t)`` (found
+by a nested bisection); feasible iff ``sum b_g(t) <= B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.utils.validation import check_positive
+
+__all__ = ["GroupWorkload", "minmax_bandwidth_split", "equal_bandwidth_split"]
+
+
+@dataclass(frozen=True)
+class GroupWorkload:
+    """One group's per-round resource demand.
+
+    ``latency_fn(bandwidth_hz) -> seconds`` must be continuous and
+    non-increasing in bandwidth (compute time + transmission time).
+    """
+
+    group_index: int
+    latency_fn: Callable[[float], float]
+
+
+def equal_bandwidth_split(total_bandwidth_hz: float, num_groups: int) -> list[float]:
+    """Uniform split (the baseline the paper's figures use)."""
+    check_positive("total_bandwidth_hz", total_bandwidth_hz)
+    check_positive("num_groups", num_groups)
+    return [total_bandwidth_hz / num_groups] * num_groups
+
+
+def _bandwidth_for_deadline(
+    workload: GroupWorkload,
+    deadline_s: float,
+    bandwidth_lo: float,
+    bandwidth_hi: float,
+    tol: float = 1e-3,
+) -> float | None:
+    """Minimum bandwidth letting the group finish by ``deadline_s``.
+
+    None when even ``bandwidth_hi`` cannot meet the deadline.
+    """
+    if workload.latency_fn(bandwidth_hi) > deadline_s:
+        return None
+    lo, hi = bandwidth_lo, bandwidth_hi
+    while hi - lo > tol * bandwidth_hi:
+        mid = 0.5 * (lo + hi)
+        if workload.latency_fn(mid) <= deadline_s:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def minmax_bandwidth_split(
+    workloads: list[GroupWorkload],
+    total_bandwidth_hz: float,
+    min_share_hz: float | None = None,
+    iterations: int = 40,
+) -> tuple[list[float], float]:
+    """Bandwidth shares minimizing the slowest group's round time.
+
+    Returns ``(shares, achieved_round_time)``.  Shares sum to the total
+    (any slack from the bisection is redistributed proportionally).
+    """
+    check_positive("total_bandwidth_hz", total_bandwidth_hz)
+    if not workloads:
+        raise ValueError("need at least one group workload")
+    m = len(workloads)
+    floor = min_share_hz if min_share_hz is not None else total_bandwidth_hz / (100.0 * m)
+
+    # Deadline bounds: all-bandwidth-to-one lower bound, floor-share upper.
+    t_lo = max(w.latency_fn(total_bandwidth_hz) for w in workloads)
+    t_hi = max(w.latency_fn(floor) for w in workloads)
+    if t_hi < t_lo:
+        t_lo, t_hi = t_hi, t_lo
+
+    def demand(deadline: float) -> list[float] | None:
+        shares = []
+        for w in workloads:
+            b = _bandwidth_for_deadline(w, deadline, floor, total_bandwidth_hz)
+            if b is None:
+                return None
+            shares.append(max(b, floor))
+        return shares
+
+    best_shares = demand(t_hi)
+    if best_shares is None or sum(best_shares) > total_bandwidth_hz:
+        # Even the most relaxed deadline is infeasible under the floor —
+        # fall back to the equal split.
+        eq = equal_bandwidth_split(total_bandwidth_hz, m)
+        return eq, max(w.latency_fn(b) for w, b in zip(workloads, eq))
+
+    best_deadline = t_hi
+    for _ in range(iterations):
+        mid = 0.5 * (t_lo + t_hi)
+        shares = demand(mid)
+        if shares is not None and sum(shares) <= total_bandwidth_hz:
+            best_shares, best_deadline = shares, mid
+            t_hi = mid
+        else:
+            t_lo = mid
+
+    # Hand out leftover spectrum proportionally — latencies only improve.
+    slack = total_bandwidth_hz - sum(best_shares)
+    if slack > 0:
+        scale = total_bandwidth_hz / sum(best_shares)
+        best_shares = [b * scale for b in best_shares]
+    achieved = max(w.latency_fn(b) for w, b in zip(workloads, best_shares))
+    return best_shares, min(achieved, best_deadline)

@@ -1,0 +1,53 @@
+"""``repro.data`` — dataset substrate.
+
+Synthetic GTSRB-like traffic-sign generator (the paper's GTSRB workload,
+rebuilt parametrically since the sandbox is offline), array datasets,
+mini-batch loaders and federated partitioning (IID / Dirichlet / shards).
+"""
+
+from repro.data.dataset import ArrayDataset, DataLoader, Dataset, Subset
+from repro.data.gtsrb import (
+    NUM_CLASSES,
+    GtsrbConfig,
+    SyntheticGTSRB,
+    class_spec,
+    render_sign,
+)
+from repro.data.partition import (
+    make_client_datasets,
+    partition_dirichlet,
+    partition_iid,
+    partition_label_histogram,
+    partition_shards,
+)
+from repro.data.transforms import (
+    Compose,
+    GaussianNoise,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    TransformedDataset,
+)
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "Subset",
+    "DataLoader",
+    "GtsrbConfig",
+    "SyntheticGTSRB",
+    "NUM_CLASSES",
+    "render_sign",
+    "class_spec",
+    "partition_iid",
+    "partition_dirichlet",
+    "partition_shards",
+    "make_client_datasets",
+    "partition_label_histogram",
+    "Compose",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "GaussianNoise",
+    "TransformedDataset",
+]

@@ -1,0 +1,139 @@
+"""Composable image transforms and an augmenting dataset wrapper.
+
+The synthetic generator already bakes augmentation into sample
+synthesis; these transforms provide *runtime* augmentation for
+experiments that reuse a fixed generated set (larger effective data
+without regenerating), plus standard normalization.
+
+All transforms map ``(C, H, W)`` float arrays to the same shape/kind and
+take an explicit generator where stochastic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import new_rng
+
+__all__ = [
+    "Compose",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "GaussianNoise",
+    "TransformedDataset",
+]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image)
+        return image
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.transforms)
+        return f"Compose([{inner}])"
+
+
+class Normalize:
+    """Channel-wise ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float64).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float64).reshape(-1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std entries must be positive")
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if image.shape[0] != self.mean.shape[0]:
+            raise ValueError(
+                f"image has {image.shape[0]} channels, normalize expects "
+                f"{self.mean.shape[0]}"
+            )
+        return (image - self.mean) / self.std
+
+    def __repr__(self) -> str:
+        return f"Normalize(mean={self.mean.ravel().tolist()}, std={self.std.ravel().tolist()})"
+
+
+class RandomHorizontalFlip:
+    """Mirror the image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, seed: int | np.random.Generator | None = None) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.p = p
+        self._rng = new_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self._rng.random() < self.p:
+            return image[:, :, ::-1].copy()
+        return image
+
+    def __repr__(self) -> str:
+        return f"RandomHorizontalFlip(p={self.p})"
+
+
+class RandomCrop:
+    """Pad by ``padding`` then crop back to the original size at a random
+    offset (the standard CIFAR-style augmentation)."""
+
+    def __init__(self, padding: int = 2, seed: int | np.random.Generator | None = None) -> None:
+        if padding <= 0:
+            raise ValueError(f"padding must be positive, got {padding}")
+        self.padding = padding
+        self._rng = new_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        c, h, w = image.shape
+        p = self.padding
+        padded = np.pad(image, ((0, 0), (p, p), (p, p)))
+        dy = int(self._rng.integers(0, 2 * p + 1))
+        dx = int(self._rng.integers(0, 2 * p + 1))
+        return padded[:, dy : dy + h, dx : dx + w].copy()
+
+    def __repr__(self) -> str:
+        return f"RandomCrop(padding={self.padding})"
+
+
+class GaussianNoise:
+    """Additive zero-mean Gaussian noise, clipped to [0, 1]."""
+
+    def __init__(self, std: float = 0.05, seed: int | np.random.Generator | None = None) -> None:
+        if std < 0:
+            raise ValueError(f"std must be >= 0, got {std}")
+        self.std = std
+        self._rng = new_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.std == 0:
+            return image
+        noisy = image + self._rng.normal(0.0, self.std, size=image.shape)
+        return np.clip(noisy, 0.0, 1.0)
+
+    def __repr__(self) -> str:
+        return f"GaussianNoise(std={self.std})"
+
+
+class TransformedDataset(Dataset):
+    """Dataset view applying a transform on access (fresh draw each time)."""
+
+    def __init__(self, dataset: Dataset, transform: Callable[[np.ndarray], np.ndarray]) -> None:
+        self.dataset = dataset
+        self.transform = transform
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        image, label = self.dataset[index]
+        return self.transform(image), label

@@ -1,0 +1,28 @@
+"""``repro.experiments`` — scenario presets and figure-regeneration harnesses."""
+
+from repro.experiments.figures import Fig2aResult, Fig2bResult, run_fig2a, run_fig2b
+from repro.experiments.runner import SCHEME_REGISTRY, make_scheme, run_schemes
+from repro.experiments.scenario import (
+    BuiltScenario,
+    ExperimentScenario,
+    fast_scenario,
+    paper_scenario,
+)
+from repro.experiments.sweep import ParameterSweep, SweepAxis, SweepRow
+
+__all__ = [
+    "ExperimentScenario",
+    "BuiltScenario",
+    "paper_scenario",
+    "fast_scenario",
+    "SCHEME_REGISTRY",
+    "make_scheme",
+    "run_schemes",
+    "run_fig2a",
+    "run_fig2b",
+    "Fig2aResult",
+    "Fig2bResult",
+    "ParameterSweep",
+    "SweepAxis",
+    "SweepRow",
+]

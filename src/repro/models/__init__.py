@@ -1,0 +1,19 @@
+"""``repro.models`` — reference architectures for the experiments.
+
+The paper trains a lightweight CNN on GTSRB (its reference [4] is
+DeepThin, a thin CNN designed for traffic-sign recognition without GPUs).
+:func:`build_model` is the single factory the experiment configs name.
+"""
+
+from repro.models.cnn import deepthin_cnn, micro_cnn
+from repro.models.mlp import mlp
+from repro.models.registry import available_models, build_model, default_cut_layer
+
+__all__ = [
+    "deepthin_cnn",
+    "micro_cnn",
+    "mlp",
+    "build_model",
+    "available_models",
+    "default_cut_layer",
+]

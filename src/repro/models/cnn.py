@@ -1,0 +1,79 @@
+"""Lightweight CNNs for traffic-sign classification.
+
+``deepthin_cnn`` follows the DeepThin design philosophy (the paper's
+reference [4]): a thin stack of small conv blocks sized for CPU-only
+training.  ``micro_cnn`` is a two-block variant for fast tests and CI.
+
+Both are plain :class:`~repro.nn.module.Sequential` stacks so they can be
+cut at any layer boundary by :func:`repro.nn.split.split_model`; the
+conventional cut (after the first pooling stage) is exposed through
+:func:`repro.models.registry.default_cut_layer`.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.utils.rng import spawn_rngs
+
+__all__ = ["deepthin_cnn", "micro_cnn"]
+
+
+def deepthin_cnn(
+    num_classes: int = 43,
+    in_channels: int = 3,
+    image_size: int = 20,
+    width: int = 16,
+    seed: int | None = 0,
+) -> nn.Sequential:
+    """Thin 3-block CNN (conv-BN-ReLU-pool ×2, conv-ReLU, FC head).
+
+    Parameters
+    ----------
+    width:
+        Base channel count; blocks use ``width``, ``2*width``, ``2*width``.
+    image_size:
+        Input spatial size (square); must be divisible by 4 for the two
+        pooling stages.
+    """
+    if image_size % 4 != 0:
+        raise ValueError(f"image_size must be divisible by 4, got {image_size}")
+    rngs = spawn_rngs(seed, 4)
+    flat = 2 * width * (image_size // 4) ** 2
+    return nn.Sequential(
+        nn.Conv2d(in_channels, width, 3, padding=1, seed=rngs[0]),
+        nn.BatchNorm2d(width),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(width, 2 * width, 3, padding=1, seed=rngs[1]),
+        nn.BatchNorm2d(2 * width),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(2 * width, 2 * width, 3, padding=1, seed=rngs[2]),
+        nn.ReLU(),
+        nn.Flatten(),
+        nn.Linear(flat, num_classes, seed=rngs[3]),
+    )
+
+
+def micro_cnn(
+    num_classes: int = 43,
+    in_channels: int = 3,
+    image_size: int = 16,
+    width: int = 8,
+    seed: int | None = 0,
+) -> nn.Sequential:
+    """Two-block CNN small enough for unit tests (~10k params)."""
+    if image_size % 4 != 0:
+        raise ValueError(f"image_size must be divisible by 4, got {image_size}")
+    rngs = spawn_rngs(seed, 3)
+    flat = 2 * width * (image_size // 4) ** 2
+    return nn.Sequential(
+        nn.Conv2d(in_channels, width, 3, padding=1, seed=rngs[0]),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(width, 2 * width, 3, padding=1, seed=rngs[1]),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(flat, num_classes, seed=rngs[2]),
+    )

@@ -1,0 +1,36 @@
+"""Multilayer perceptron for fast functional tests and ablations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.utils.rng import spawn_rngs
+
+__all__ = ["mlp"]
+
+
+def mlp(
+    num_classes: int = 43,
+    input_shape: tuple[int, ...] = (3, 16, 16),
+    hidden: tuple[int, ...] = (64, 32),
+    seed: int | None = 0,
+) -> nn.Sequential:
+    """Flatten→(Linear→ReLU)*→Linear classifier.
+
+    The first layer is ``Flatten`` so the model accepts the same image
+    tensors as the CNNs; the natural cut points are after any hidden
+    activation.
+    """
+    if not hidden:
+        raise ValueError("mlp needs at least one hidden layer to be splittable")
+    rngs = spawn_rngs(seed, len(hidden) + 1)
+    in_features = int(np.prod(input_shape))
+    layers: list[nn.Module] = [nn.Flatten()]
+    prev = in_features
+    for i, width in enumerate(hidden):
+        layers.append(nn.Linear(prev, width, seed=rngs[i]))
+        layers.append(nn.ReLU())
+        prev = width
+    layers.append(nn.Linear(prev, num_classes, seed=rngs[-1]))
+    return nn.Sequential(*layers)

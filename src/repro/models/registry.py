@@ -1,0 +1,53 @@
+"""Model registry: build architectures by name with consistent kwargs.
+
+Experiment configs reference models by registry name so experiment
+descriptions stay serializable (plain strings + numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import nn
+from repro.models.cnn import deepthin_cnn, micro_cnn
+from repro.models.mlp import mlp
+
+__all__ = ["build_model", "available_models", "default_cut_layer"]
+
+_BUILDERS: dict[str, Callable[..., nn.Sequential]] = {
+    "deepthin": deepthin_cnn,
+    "micro_cnn": micro_cnn,
+    "mlp": mlp,
+}
+
+#: conventional client-side depth per architecture (after the first
+#: pooling/activation stage — the shallow cut the paper's setting implies,
+#: keeping client compute small)
+_DEFAULT_CUTS = {
+    "deepthin": 4,  # conv-bn-relu-pool on the client
+    "micro_cnn": 3,  # conv-relu-pool on the client
+    "mlp": 3,  # flatten-linear-relu on the client
+}
+
+
+def available_models() -> list[str]:
+    """Registered model names."""
+    return sorted(_BUILDERS)
+
+
+def build_model(name: str, **kwargs: object) -> nn.Sequential:
+    """Construct a registered model.
+
+    ``kwargs`` pass through to the builder (``num_classes``,
+    ``image_size``/``input_shape``, ``width``/``hidden``, ``seed``).
+    """
+    if name not in _BUILDERS:
+        raise ValueError(f"unknown model {name!r}; available: {available_models()}")
+    return _BUILDERS[name](**kwargs)
+
+
+def default_cut_layer(name: str) -> int:
+    """Conventional cut layer for a registered model."""
+    if name not in _DEFAULT_CUTS:
+        raise ValueError(f"unknown model {name!r}; available: {available_models()}")
+    return _DEFAULT_CUTS[name]

@@ -1,0 +1,115 @@
+"""``repro.nn`` — a from-scratch numpy deep-learning framework.
+
+Provides reverse-mode autodiff (:mod:`repro.nn.tensor`), standard layers
+(dense, conv, pooling, batch norm, dropout), losses, optimizers, weight
+initialization, model profiling (shapes/FLOPs/payload bytes), parameter
+serialization, and the split-model machinery used by split learning.
+
+It exists because the reproduction sandbox has no PyTorch; the public
+surface intentionally mirrors familiar ``torch.nn`` idioms.
+"""
+
+from repro.nn import functional
+from repro.nn.checkpoint import clip_grad_norm, grad_norm, load_checkpoint, save_checkpoint
+from repro.nn.conv import AvgPool2d, Conv2d, MaxPool2d
+from repro.nn.extra_layers import GELU, GlobalAvgPool2d, LayerNorm, LeakyReLU, Softmax
+from repro.nn.layers import (
+    Dropout,
+    Flatten,
+    Identity,
+    Layer,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import CrossEntropyLoss, MSELoss, NLLLoss, accuracy_from_logits
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.norm import BatchNorm1d, BatchNorm2d
+from repro.nn.optim import SGD, Adam, ConstantLR, CosineAnnealingLR, Optimizer, StepLR
+from repro.nn.profile import LayerProfile, ModelProfile, profile_model
+from repro.nn.quantize import QuantizedArray, dequantize, quantize_uniform, simulate_wire
+from repro.nn.serialize import (
+    WIRE_BYTES_PER_SCALAR,
+    activation_nbits,
+    activation_nbytes,
+    clone_state,
+    model_nbits,
+    model_nbytes,
+    pack_state,
+    state_nbits,
+    state_nbytes,
+    state_num_scalars,
+    states_allclose,
+    unpack_state,
+)
+from repro.nn.split import ClientHalf, ServerHalf, SmashedBatch, SplitModel, split_model
+from repro.nn.tensor import Tensor, concatenate, no_grad, stack, unbroadcast
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "no_grad",
+    "stack",
+    "concatenate",
+    "unbroadcast",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Layer",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Flatten",
+    "Identity",
+    "Dropout",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "LeakyReLU",
+    "GELU",
+    "Softmax",
+    "LayerNorm",
+    "GlobalAvgPool2d",
+    "save_checkpoint",
+    "load_checkpoint",
+    "clip_grad_norm",
+    "grad_norm",
+    "QuantizedArray",
+    "quantize_uniform",
+    "dequantize",
+    "simulate_wire",
+    "CrossEntropyLoss",
+    "NLLLoss",
+    "MSELoss",
+    "accuracy_from_logits",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineAnnealingLR",
+    "ConstantLR",
+    "LayerProfile",
+    "ModelProfile",
+    "profile_model",
+    "WIRE_BYTES_PER_SCALAR",
+    "state_num_scalars",
+    "state_nbytes",
+    "state_nbits",
+    "model_nbytes",
+    "model_nbits",
+    "activation_nbytes",
+    "activation_nbits",
+    "pack_state",
+    "unpack_state",
+    "clone_state",
+    "states_allclose",
+    "split_model",
+    "SplitModel",
+    "ClientHalf",
+    "ServerHalf",
+    "SmashedBatch",
+]

@@ -1,0 +1,75 @@
+"""Model checkpointing and gradient utilities.
+
+``save_checkpoint``/``load_checkpoint`` persist a module's state dict to
+a compressed ``.npz`` — enough to hand a trained GSFL model to a
+downstream user or resume an interrupted sweep.  ``clip_grad_norm``
+implements global-norm gradient clipping, useful when ablating larger
+learning rates.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+__all__ = ["save_checkpoint", "load_checkpoint", "clip_grad_norm", "grad_norm"]
+
+#: reserved npz key carrying format metadata
+_META_KEY = "__repro_checkpoint_version__"
+_VERSION = 1
+
+
+def save_checkpoint(model: Module, path: str) -> None:
+    """Write the model's parameters and buffers to ``path`` (.npz)."""
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"state dict may not use the reserved key {_META_KEY!r}")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state, **{_META_KEY: np.array(_VERSION)})
+
+
+def load_checkpoint(model: Module, path: str) -> None:
+    """Restore a checkpoint written by :func:`save_checkpoint`.
+
+    Shape/key mismatches raise (via ``load_state_dict``) rather than
+    silently partial-loading.
+    """
+    with np.load(path) as archive:
+        version = int(archive[_META_KEY]) if _META_KEY in archive else None
+        if version != _VERSION:
+            raise ValueError(
+                f"{path!r} is not a repro checkpoint (version {version!r})"
+            )
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    model.load_state_dict(state)
+
+
+def grad_norm(params: Iterable[Parameter]) -> float:
+    """Global L2 norm over all present gradients."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad**2).sum())
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (like torch).  Parameters without
+    gradients are ignored.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    params = [p for p in params if p.grad is not None]
+    norm = grad_norm(params)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return norm

@@ -1,0 +1,250 @@
+"""Functional neural-network operations over :class:`repro.nn.tensor.Tensor`.
+
+Convolution and pooling are implemented with im2col/col2im so the heavy
+lifting is a single BLAS matmul per layer — the standard way to get a
+usable CNN out of pure numpy.
+
+All functions are autograd-aware: they return graph-connected tensors with
+correct backward closures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "linear",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "pad2d",
+    "dropout",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a conv/pool along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output size: input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    Array of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    # Strided sliding-window view: (N, C, out_h, out_w, kernel_h, kernel_w)
+    s_n, s_c, s_h, s_w = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel_h, kernel_w),
+        strides=(s_n, s_c, s_h * stride, s_w * stride, s_h, s_w),
+        writeable=False,
+    )
+    # (N, out_h, out_w, C, kh, kw) -> rows are receptive fields
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * out_h * out_w, c * kernel_h * kernel_w
+    )
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back into an image."""
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+
+    reshaped = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
+        0, 3, 1, 2, 4, 5
+    )  # (N, C, out_h, out_w, kh, kw)
+    for i in range(kernel_h):
+        h_end = i + stride * out_h
+        for j in range(kernel_w):
+            w_end = j + stride * out_w
+            padded[:, :, i:h_end:stride, j:w_end:stride] += reshaped[:, :, :, :, i, j]
+
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in)."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation.
+
+    Parameters
+    ----------
+    x:
+        Input tensor, shape ``(N, C_in, H, W)``.
+    weight:
+        Filters, shape ``(C_out, C_in, kH, kW)``.
+    bias:
+        Optional per-channel bias of shape ``(C_out,)``.
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input has {c_in} channels but weight expects {c_in_w}")
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    cols = im2col(x.data, kh, kw, stride, padding)  # (N*oh*ow, C_in*kh*kw)
+    w_mat = weight.data.reshape(c_out, -1)  # (C_out, C_in*kh*kw)
+    out_data = cols @ w_mat.T  # (N*oh*ow, C_out)
+    if bias is not None:
+        out_data = out_data + bias.data
+    out_data = out_data.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+
+    requires = x.requires_grad or weight.requires_grad or (
+        bias is not None and bias.requires_grad
+    )
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = Tensor(out_data, requires_grad=requires, _parents=parents, _op="conv2d")
+
+    def _bw(grad: np.ndarray) -> None:
+        # grad: (N, C_out, oh, ow) -> (N*oh*ow, C_out)
+        grad_mat = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        if weight.requires_grad:
+            gw = grad_mat.T @ cols  # (C_out, C_in*kh*kw)
+            weight._accumulate(gw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_mat.sum(axis=0))
+        if x.requires_grad:
+            gcols = grad_mat @ w_mat  # (N*oh*ow, C_in*kh*kw)
+            x._accumulate(col2im(gcols, (n, c_in, h, w), kh, kw, stride, padding))
+
+    out._backward = _bw
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling with square window.  ``stride`` defaults to ``kernel``."""
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+
+    # Treat each channel independently: fold C into N for im2col.
+    cols = im2col(x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0)
+    # cols: (N*C*oh*ow, k*k)
+    argmax = cols.argmax(axis=1)
+    out_data = cols[np.arange(cols.shape[0]), argmax].reshape(n, c, out_h, out_w)
+    out = Tensor(out_data, requires_grad=x.requires_grad, _parents=(x,), _op="max_pool2d")
+
+    def _bw(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        gcols = np.zeros_like(cols)
+        gcols[np.arange(cols.shape[0]), argmax] = grad.reshape(-1)
+        gx = col2im(gcols, (n * c, 1, h, w), kernel, kernel, stride, 0)
+        x._accumulate(gx.reshape(n, c, h, w))
+
+    out._backward = _bw
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling with square window.  ``stride`` defaults to ``kernel``."""
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+
+    cols = im2col(x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0)
+    out_data = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+    out = Tensor(out_data, requires_grad=x.requires_grad, _parents=(x,), _op="avg_pool2d")
+
+    def _bw(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        g = grad.reshape(-1, 1) / (kernel * kernel)
+        gcols = np.broadcast_to(g, (g.shape[0], kernel * kernel)).astype(grad.dtype)
+        gx = col2im(np.ascontiguousarray(gcols), (n * c, 1, h, w), kernel, kernel, stride, 0)
+        x._accumulate(gx.reshape(n, c, h, w))
+
+    out._backward = _bw
+    return out
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the two trailing spatial dimensions symmetrically."""
+    if padding == 0:
+        return x
+    pads = ((0, 0),) * (x.ndim - 2) + ((padding, padding), (padding, padding))
+    out = Tensor(
+        np.pad(x.data, pads), requires_grad=x.requires_grad, _parents=(x,), _op="pad2d"
+    )
+
+    def _bw(grad: np.ndarray) -> None:
+        sl = (slice(None),) * (x.ndim - 2) + (
+            slice(padding, -padding),
+            slice(padding, -padding),
+        )
+        x._accumulate(grad[sl])
+
+    out._backward = _bw
+    return out
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero activations with probability ``p`` at train time."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    mask = mask.astype(x.dtype)
+    out = Tensor(x.data * mask, requires_grad=x.requires_grad, _parents=(x,), _op="dropout")
+
+    def _bw(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    out._backward = _bw
+    return out

@@ -1,0 +1,101 @@
+"""Loss functions.
+
+Each loss is a callable object mapping ``(logits_or_preds, targets)`` to a
+scalar :class:`~repro.nn.tensor.Tensor`; targets are plain numpy arrays
+(integer class labels for classification).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "NLLLoss", "accuracy_from_logits"]
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    Combines log-softmax and NLL in one numerically stable op, exactly like
+    ``torch.nn.CrossEntropyLoss``.
+
+    Parameters
+    ----------
+    reduction:
+        ``"mean"`` (default) or ``"sum"`` over the batch.
+    """
+
+    def __init__(self, reduction: str = "mean") -> None:
+        if reduction not in ("mean", "sum"):
+            raise ValueError(f"reduction must be 'mean' or 'sum', got {reduction!r}")
+        self.reduction = reduction
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        targets = np.asarray(targets)
+        if targets.ndim != 1:
+            raise ValueError(f"targets must be 1-D class labels, got shape {targets.shape}")
+        if logits.ndim != 2 or logits.shape[0] != targets.shape[0]:
+            raise ValueError(
+                f"logits shape {logits.shape} incompatible with targets {targets.shape}"
+            )
+        if targets.min() < 0 or targets.max() >= logits.shape[1]:
+            raise ValueError(
+                f"target labels out of range [0, {logits.shape[1]}): "
+                f"[{targets.min()}, {targets.max()}]"
+            )
+        log_probs = logits.log_softmax(axis=1)
+        batch = np.arange(targets.shape[0])
+        picked = log_probs[batch, targets]
+        loss = -(picked.sum())
+        if self.reduction == "mean":
+            loss = loss * (1.0 / targets.shape[0])
+        return loss
+
+    def __repr__(self) -> str:
+        return f"CrossEntropyLoss(reduction={self.reduction!r})"
+
+
+class NLLLoss:
+    """Negative log-likelihood over pre-computed log-probabilities."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        if reduction not in ("mean", "sum"):
+            raise ValueError(f"reduction must be 'mean' or 'sum', got {reduction!r}")
+        self.reduction = reduction
+
+    def __call__(self, log_probs: Tensor, targets: np.ndarray) -> Tensor:
+        targets = np.asarray(targets)
+        batch = np.arange(targets.shape[0])
+        picked = log_probs[batch, targets]
+        loss = -(picked.sum())
+        if self.reduction == "mean":
+            loss = loss * (1.0 / targets.shape[0])
+        return loss
+
+    def __repr__(self) -> str:
+        return f"NLLLoss(reduction={self.reduction!r})"
+
+
+class MSELoss:
+    """Mean squared error between predictions and targets."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        if reduction not in ("mean", "sum"):
+            raise ValueError(f"reduction must be 'mean' or 'sum', got {reduction!r}")
+        self.reduction = reduction
+
+    def __call__(self, preds: Tensor, targets: np.ndarray) -> Tensor:
+        diff = preds - Tensor(np.asarray(targets, dtype=preds.dtype))
+        sq = diff * diff
+        return sq.mean() if self.reduction == "mean" else sq.sum()
+
+    def __repr__(self) -> str:
+        return f"MSELoss(reduction={self.reduction!r})"
+
+
+def accuracy_from_logits(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1] from raw logits."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    preds = data.argmax(axis=1)
+    return float((preds == np.asarray(targets)).mean())

@@ -1,0 +1,216 @@
+"""Module containers: parameter registration, train/eval mode, state dicts.
+
+Mirrors the familiar ``torch.nn.Module`` contract at the scale this library
+needs: attribute assignment auto-registers :class:`Parameter` and
+:class:`Module` children, ``state_dict`` flattens parameters (and buffers,
+e.g. batch-norm running statistics) into an ordered mapping of numpy
+arrays, and ``load_state_dict`` restores them by name with shape checking.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter(Tensor):
+    """A tensor that is a trainable parameter of a module."""
+
+    def __init__(self, data: object) -> None:
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape})"
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable persistent array (e.g. running stats)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def _update_buffer(self, name: str, value: np.ndarray) -> None:
+        """Replace a registered buffer's contents, keeping registration."""
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters, depth-first."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, buffer)`` pairs, depth-first."""
+        for name, buf in self._buffers.items():
+            yield prefix + name, buf
+        for mod_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants, depth-first."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def children(self) -> Iterator["Module"]:
+        """Yield immediate child modules."""
+        yield from self._modules.values()
+
+    # ------------------------------------------------------------------
+    # mode & grads
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set train/eval mode recursively; returns self for chaining."""
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to evaluation mode (affects dropout, batch norm)."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # state dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Copy all parameters and buffers into an ordered name→array map."""
+        state: OrderedDict[str, np.ndarray] = OrderedDict()
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[name] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters and buffers from :meth:`state_dict` output.
+
+        Raises ``KeyError`` on missing entries and ``ValueError`` on shape
+        mismatch — silent partial loads hide split/aggregation bugs.
+        """
+        param_map = dict(self.named_parameters())
+        buffer_owners = self._buffer_owners()
+        for name in param_map:
+            if name not in state:
+                raise KeyError(f"state dict is missing parameter {name!r}")
+        for name in buffer_owners:
+            if name not in state:
+                raise KeyError(f"state dict is missing buffer {name!r}")
+        for name, param in param_map.items():
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: expected {param.data.shape}, "
+                    f"got {value.shape}"
+                )
+            param.data = value.astype(param.data.dtype).copy()
+        for name, (owner, local) in buffer_owners.items():
+            value = np.asarray(state[name])
+            if value.shape != owner._buffers[local].shape:
+                raise ValueError(
+                    f"shape mismatch for buffer {name!r}: expected "
+                    f"{owner._buffers[local].shape}, got {value.shape}"
+                )
+            owner._update_buffer(local, value)
+
+    def _buffer_owners(
+        self, prefix: str = ""
+    ) -> "OrderedDict[str, tuple[Module, str]]":
+        """Map dotted buffer names to their owning module and local name."""
+        owners: OrderedDict[str, tuple[Module, str]] = OrderedDict()
+        for name in self._buffers:
+            owners[prefix + name] = (self, name)
+        for mod_name, module in self._modules.items():
+            owners.update(module._buffer_owners(prefix=f"{prefix}{mod_name}."))
+        return owners
+
+    # ------------------------------------------------------------------
+    # call protocol
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order.
+
+    Supports integer indexing and slicing; slicing returns a new
+    ``Sequential`` sharing the same child modules (used by the split-model
+    machinery to form client-side / server-side halves).
+    """
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(layers):
+            self._modules[str(i)] = layer
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __getitem__(self, index: int | slice) -> "Module | Sequential":
+        if isinstance(index, slice):
+            return Sequential(*self.layers[index])
+        return self.layers[index]
+
+    def append(self, layer: Module) -> "Sequential":
+        """Add a layer at the end; returns self for chaining."""
+        self._modules[str(len(self.layers))] = layer
+        self.layers.append(layer)
+        return self

@@ -1,0 +1,92 @@
+"""Batch-normalization layers with running statistics.
+
+Running mean/var are registered buffers, so they travel with
+``state_dict`` during split-model relay and FedAvg aggregation — in GSFL
+the batch-norm state of the client-side model must follow the model as it
+hops between clients, and the server aggregates it like any other state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.layers import Layer
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["BatchNorm1d", "BatchNorm2d"]
+
+
+class _BatchNorm(Layer):
+    """Shared machinery for 1-D and 2-D batch norm."""
+
+    #: axes to reduce over; subclasses set this
+    _reduce_axes: tuple[int, ...]
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError(f"momentum must be in (0, 1], got {momentum}")
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def _param_shape(self, ndim: int) -> tuple[int, ...]:
+        """Shape to broadcast per-channel params against the input."""
+        shape = [1] * ndim
+        shape[1] = self.num_features
+        return tuple(shape)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim < 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected channel dim {self.num_features} at axis 1, got shape {x.shape}"
+            )
+        shape = self._param_shape(x.ndim)
+        if self.training:
+            # Statistics computed with Tensor ops so gradients flow exactly
+            # through the batch mean and variance.
+            mean = x.mean(axis=self._reduce_axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=self._reduce_axes, keepdims=True)
+            m = self.momentum
+            n = x.data.size / self.num_features
+            unbiased = var.data.reshape(-1) * n / max(n - 1, 1)
+            self._update_buffer(
+                "running_mean", (1 - m) * self.running_mean + m * mean.data.reshape(-1)
+            )
+            self._update_buffer("running_var", (1 - m) * self.running_var + m * unbiased)
+            normed = centered * (var + self.eps) ** -0.5
+        else:
+            centered = x - Tensor(self.running_mean.reshape(shape))
+            inv_std = Tensor(1.0 / np.sqrt(self.running_var + self.eps).reshape(shape))
+            normed = centered * inv_std
+        return normed * self.gamma.reshape(*shape) + self.beta.reshape(*shape)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+    def flops(self, input_shape: tuple[int, ...]) -> int:
+        return 4 * int(np.prod(input_shape))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(features={self.num_features})"
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch norm over feature vectors ``(N, C)``."""
+
+    _reduce_axes = (0,)
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch norm over images ``(N, C, H, W)``."""
+
+    _reduce_axes = (0, 2, 3)

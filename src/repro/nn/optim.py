@@ -1,0 +1,221 @@
+"""First-order optimizers and learning-rate schedules.
+
+The paper trains both model halves with SGD (§II-B-2: "The update of the
+server-side model parameters can be accomplished through methods such as
+stochastic gradient descent").  SGD with optional momentum/weight-decay is
+the workhorse; Adam is provided for the centralized baseline and ablations.
+
+Optimizers hold per-parameter state keyed by ``id(param)``; state can be
+exported/imported so it can follow a client-side model as it is relayed
+between clients in split learning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR", "CosineAnnealingLR", "ConstantLR"]
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the accumulated gradients."""
+        raise NotImplementedError
+
+    def state_export(self) -> list[dict[str, np.ndarray]]:
+        """Per-parameter optimizer state, ordered like ``self.params``."""
+        return [{} for _ in self.params]
+
+    def state_import(self, state: list[dict[str, np.ndarray]]) -> None:
+        """Restore state exported by :meth:`state_export`."""
+        if len(state) != len(self.params):
+            raise ValueError(
+                f"state has {len(state)} entries for {len(self.params)} parameters"
+            )
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay.
+
+    ``velocity`` buffers are created lazily on the first step.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity.get(id(p))
+                if v is None:
+                    v = np.zeros_like(p.data)
+                v = self.momentum * v + grad
+                self._velocity[id(p)] = v
+                grad = grad + self.momentum * v if self.nesterov else v
+            p.data = p.data - self.lr * grad
+
+    def state_export(self) -> list[dict[str, np.ndarray]]:
+        return [
+            {"velocity": self._velocity[id(p)].copy()} if id(p) in self._velocity else {}
+            for p in self.params
+        ]
+
+    def state_import(self, state: list[dict[str, np.ndarray]]) -> None:
+        super().state_import(state)
+        self._velocity = {}
+        for p, entry in zip(self.params, state):
+            if "velocity" in entry:
+                self._velocity[id(p)] = np.array(entry["velocity"], copy=True)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.betas
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m = self._m.get(id(p))
+            v = self._v.get(id(p))
+            if m is None:
+                m = np.zeros_like(p.data)
+                v = np.zeros_like(p.data)
+            m = b1 * m + (1 - b1) * grad
+            v = b2 * v + (1 - b2) * grad**2
+            self._m[id(p)] = m
+            self._v[id(p)] = v
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_export(self) -> list[dict[str, np.ndarray]]:
+        out = []
+        for p in self.params:
+            entry: dict[str, np.ndarray] = {}
+            if id(p) in self._m:
+                entry["m"] = self._m[id(p)].copy()
+                entry["v"] = self._v[id(p)].copy()
+                entry["t"] = np.array(self._t)
+            out.append(entry)
+        return out
+
+    def state_import(self, state: list[dict[str, np.ndarray]]) -> None:
+        super().state_import(state)
+        self._m, self._v = {}, {}
+        for p, entry in zip(self.params, state):
+            if "m" in entry:
+                self._m[id(p)] = np.array(entry["m"], copy=True)
+                self._v[id(p)] = np.array(entry["v"], copy=True)
+                self._t = int(entry["t"])
+
+
+class ConstantLR:
+    """Schedule that leaves the learning rate unchanged."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+
+    def step(self) -> None:
+        """No-op; present for interface uniformity."""
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch, decaying the LR at each boundary."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+
+
+class CosineAnnealingLR:
+    """Cosine decay from the initial LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.optimizer = optimizer
+        self.t_max = t_max
+        self.eta_min = eta_min
+        self._base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch along the cosine curve."""
+        self._epoch = min(self._epoch + 1, self.t_max)
+        cos = (1 + np.cos(np.pi * self._epoch / self.t_max)) / 2
+        self.optimizer.lr = self.eta_min + (self._base_lr - self.eta_min) * cos

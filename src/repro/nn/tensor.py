@@ -1,0 +1,587 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+``Tensor`` wraps a ``numpy.ndarray`` and records the operations applied to
+it in a dynamic computation graph.  Calling :meth:`Tensor.backward` on a
+scalar output walks the graph in reverse topological order, accumulating
+gradients into every tensor created with ``requires_grad=True``.
+
+The design mirrors the micro-autograd pattern (define-by-run tape with
+per-op backward closures) but supports full numpy broadcasting: gradients
+flowing into a broadcast operand are summed over the broadcast axes by
+:func:`unbroadcast` so shapes always match the forward values.
+
+Only float64/float32 data participates in differentiation; integer tensors
+(labels, indices) can be wrapped but must not require grad.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (for eval/inference)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations are being recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so its shape matches the pre-broadcast ``shape``.
+
+    Numpy broadcasting may have (a) prepended axes and (b) stretched
+    length-1 axes.  The adjoint of broadcasting is summation over exactly
+    those axes.
+    """
+    # Sum out prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched axes (forward dim was 1, grad dim is larger).
+    axes = tuple(
+        i for i, (g_dim, s_dim) in enumerate(zip(grad.shape, shape)) if s_dim == 1 and g_dim != 1
+    )
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(data: object, dtype: np.dtype | None = None) -> np.ndarray:
+    arr = np.asarray(data)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    elif arr.dtype == np.float16:
+        arr = arr.astype(np.float32)
+    return arr
+
+
+class Tensor:
+    """A numpy-backed array node in a dynamic autodiff graph.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts.
+    requires_grad:
+        If True, gradients are accumulated into ``self.grad`` on backward.
+    _parents, _backward, _op:
+        Internal tape bookkeeping; library code only.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+
+    def __init__(
+        self,
+        data: object,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _backward: Callable[[np.ndarray], None] | None = None,
+        _op: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        if requires_grad and not np.issubdtype(self.data.dtype, np.floating):
+            raise TypeError(
+                f"only floating-point tensors can require grad, got dtype {self.data.dtype}"
+            )
+        self.requires_grad = bool(requires_grad and _GRAD_ENABLED)
+        self.grad: np.ndarray | None = None
+        self._parents: tuple[Tensor, ...] = tuple(_parents) if _GRAD_ENABLED else ()
+        self._backward = _backward if _GRAD_ENABLED else None
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        op = f", op={self._op!r}" if self._op else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag}{op})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a one-element tensor as a Python scalar."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._item_err()
+
+    @staticmethod
+    def _item_err() -> float:
+        raise ValueError("item() only valid for one-element tensors")
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def clone(self) -> "Tensor":
+        """Return a graph-connected copy."""
+        out = Tensor(
+            self.data.copy(),
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+            _op="clone",
+        )
+
+        def _bw(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+
+        out._backward = _bw
+        return out
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # graph machinery
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad`` (lazily allocated)."""
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (the usual scalar-loss case requires a
+        one-element tensor).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient requires a scalar output; "
+                    f"got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor shape {self.shape}"
+                )
+
+        # Topological order via iterative DFS (avoids recursion limits on
+        # deep models).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        # Seed the output gradient and propagate in reverse topological
+        # order.  Because children always precede their parents in the
+        # reversed order, each node's ``.grad`` is fully accumulated before
+        # its own backward closure fires.
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+        # Interior (non-leaf) gradients are transient; free them so only
+        # leaves retain ``.grad`` and graph memory is released promptly.
+        for node in topo:
+            if node._parents and node is not self:
+                node.grad = None
+            node._parents = ()
+            node._backward = None
+
+    # ------------------------------------------------------------------
+    # arithmetic ops
+    # ------------------------------------------------------------------
+    def _binary(self, other: object) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(_as_array(other, self.dtype))
+
+    def __add__(self, other: object) -> "Tensor":
+        other = self._binary(other)
+        out = Tensor(
+            self.data + other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+            _op="add",
+        )
+
+        def _bw(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(grad, other.shape))
+
+        out._backward = _bw
+        return out
+
+    __radd__ = __add__
+
+    def __mul__(self, other: object) -> "Tensor":
+        other = self._binary(other)
+        out = Tensor(
+            self.data * other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+            _op="mul",
+        )
+
+        def _bw(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(grad * self.data, other.shape))
+
+        out._backward = _bw
+        return out
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor(-self.data, requires_grad=self.requires_grad, _parents=(self,), _op="neg")
+
+        def _bw(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        out._backward = _bw
+        return out
+
+    def __sub__(self, other: object) -> "Tensor":
+        other = self._binary(other)
+        out = Tensor(
+            self.data - other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+            _op="sub",
+        )
+
+        def _bw(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(-grad, other.shape))
+
+        out._backward = _bw
+        return out
+
+    def __rsub__(self, other: object) -> "Tensor":
+        return self._binary(other) - self
+
+    def __truediv__(self, other: object) -> "Tensor":
+        other = self._binary(other)
+        out = Tensor(
+            self.data / other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+            _op="div",
+        )
+
+        def _bw(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    unbroadcast(-grad * self.data / (other.data**2), other.shape)
+                )
+
+        out._backward = _bw
+        return out
+
+    def __rtruediv__(self, other: object) -> "Tensor":
+        return self._binary(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out = Tensor(
+            self.data**exponent, requires_grad=self.requires_grad, _parents=(self,), _op="pow"
+        )
+
+        def _bw(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = _bw
+        return out
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        if not isinstance(other, Tensor):
+            other = Tensor(_as_array(other, self.dtype))
+        out = Tensor(
+            self.data @ other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            _parents=(self, other),
+            _op="matmul",
+        )
+
+        def _bw(grad: np.ndarray) -> None:
+            a, b = self.data, other.data
+            if self.requires_grad:
+                if b.ndim == 1:
+                    ga = np.outer(grad, b) if a.ndim == 2 else grad * b
+                else:
+                    ga = grad @ np.swapaxes(b, -1, -2)
+                self._accumulate(unbroadcast(np.asarray(ga), self.shape))
+            if other.requires_grad:
+                if a.ndim == 1:
+                    gb = np.outer(a, grad) if b.ndim == 2 else grad * a
+                else:
+                    gb = np.swapaxes(a, -1, -2) @ grad
+                other._accumulate(unbroadcast(np.asarray(gb), other.shape))
+
+        out._backward = _bw
+        return out
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,), _op="sum")
+
+        def _bw(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                g = np.expand_dims(g, tuple(a % self.data.ndim for a in axes))
+            self._accumulate(np.broadcast_to(g, self.data.shape).copy())
+
+        out._backward = _bw
+        return out
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,), _op="max")
+
+        def _bw(grad: np.ndarray) -> None:
+            g = grad
+            full = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                full = np.expand_dims(out_data, axis)
+            mask = self.data == full
+            # Split gradient equally among ties (matches numpy/torch behaviour
+            # closely enough for training purposes).
+            denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(mask * g / denom)
+
+        out._backward = _bw
+        return out
+
+    # ------------------------------------------------------------------
+    # shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = Tensor(
+            self.data.reshape(shape),
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+            _op="reshape",
+        )
+
+        def _bw(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.data.shape))
+
+        out._backward = _bw
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_t = tuple(axes) if axes else tuple(reversed(range(self.data.ndim)))
+        out = Tensor(
+            self.data.transpose(axes_t),
+            requires_grad=self.requires_grad,
+            _parents=(self,),
+            _op="transpose",
+        )
+        inverse = tuple(np.argsort(axes_t))
+
+        def _bw(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        out._backward = _bw
+        return out
+
+    def __getitem__(self, index: object) -> "Tensor":
+        out = Tensor(
+            self.data[index], requires_grad=self.requires_grad, _parents=(self,), _op="getitem"
+        )
+
+        def _bw(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        out._backward = _bw
+        return out
+
+    # ------------------------------------------------------------------
+    # elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,), _op="exp")
+
+        def _bw(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        out._backward = _bw
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor(
+            np.log(self.data), requires_grad=self.requires_grad, _parents=(self,), _op="log"
+        )
+
+        def _bw(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        out._backward = _bw
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = Tensor(
+            self.data * mask, requires_grad=self.requires_grad, _parents=(self,), _op="relu"
+        )
+
+        def _bw(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        out._backward = _bw
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,), _op="sigmoid")
+
+        def _bw(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        out._backward = _bw
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _parents=(self,), _op="tanh")
+
+        def _bw(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data**2))
+
+        out._backward = _bw
+        return out
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable log-softmax along ``axis``."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_z
+        out = Tensor(
+            out_data, requires_grad=self.requires_grad, _parents=(self,), _op="log_softmax"
+        )
+        softmax = np.exp(out_data)
+
+        def _bw(grad: np.ndarray) -> None:
+            self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+        out._backward = _bw
+        return out
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        return self.log_softmax(axis=axis).exp()
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis (autograd-aware)."""
+    tensors = list(tensors)
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(out_data, requires_grad=requires, _parents=tuple(tensors), _op="stack")
+
+    def _bw(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for t, piece in zip(tensors, pieces):
+            if t.requires_grad:
+                t._accumulate(np.squeeze(piece, axis=axis))
+
+    out._backward = _bw
+    return out
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis (autograd-aware)."""
+    tensors = list(tensors)
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(out_data, requires_grad=requires, _parents=tuple(tensors), _op="concat")
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def _bw(grad: np.ndarray) -> None:
+        for t, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                sl = [slice(None)] * grad.ndim
+                sl[axis] = slice(start, end)
+                t._accumulate(grad[tuple(sl)])
+
+    out._backward = _bw
+    return out

@@ -1,0 +1,249 @@
+"""Scheme framework: timed activities, parallel stages, DES replay.
+
+Every training scheme produces, per round, a sequence of **stages**; a
+stage holds one **track** (list of sequential :class:`Activity`) per
+concurrently executing actor.  Tracks inside a stage run in parallel,
+stages are separated by barriers (exactly the structure of GSFL: parallel
+group training → barrier → aggregation).
+
+The actual numpy training runs *eagerly* when the scheme builds its
+activities; the discrete-event kernel then **replays** the timing
+structure to compose wall-clock latency and emit the global trace.  This
+split keeps learning math and latency simulation decoupled while both
+stay exact: groups never share state inside a round, so eager execution
+order cannot change the learned weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import nn
+from repro.data.dataset import DataLoader, Dataset
+from repro.metrics.evaluate import evaluate_model
+from repro.metrics.history import TrainingHistory
+from repro.sim.engine import Environment
+from repro.sim.trace import TraceRecorder
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import check_positive
+
+__all__ = ["Activity", "Stage", "replay_stages", "SchemeConfig", "Scheme"]
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One timed, attributed unit of simulated work."""
+
+    duration_s: float
+    phase: str
+    actor: str
+    nbytes: int = 0
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ValueError(f"negative duration: {self}")
+
+
+@dataclass
+class Stage:
+    """Parallel tracks separated from neighbouring stages by barriers."""
+
+    name: str
+    tracks: dict[str, list[Activity]] = field(default_factory=dict)
+
+    def add(self, track: str, activity: Activity) -> None:
+        self.tracks.setdefault(track, []).append(activity)
+
+    def extend(self, track: str, activities: list[Activity]) -> None:
+        self.tracks.setdefault(track, []).extend(activities)
+
+    @property
+    def duration_s(self) -> float:
+        """Analytic stage latency: max over tracks of summed durations."""
+        if not self.tracks:
+            return 0.0
+        return max(sum(a.duration_s for a in acts) for acts in self.tracks.values())
+
+
+def replay_stages(
+    stages: list[Stage],
+    recorder: TraceRecorder | None,
+    round_index: int,
+    start_time_s: float,
+) -> float:
+    """Replay a round's stages on the DES; returns the round duration.
+
+    One process per track; an all-of barrier between stages.  Trace events
+    carry absolute timestamps (``start_time_s`` offsets the kernel clock,
+    which restarts per round).
+    """
+    env = Environment()
+
+    def track_process(activities: list[Activity]):
+        for act in activities:
+            begin = env.now
+            yield env.timeout(act.duration_s)
+            if recorder is not None:
+                recorder.record(
+                    start=start_time_s + begin,
+                    end=start_time_s + env.now,
+                    phase=act.phase,
+                    actor=act.actor,
+                    round_index=round_index,
+                    nbytes=act.nbytes,
+                    detail=act.detail,
+                )
+
+    def round_process():
+        for stage in stages:
+            if not stage.tracks:
+                continue
+            procs = [env.process(track_process(acts)) for acts in stage.tracks.values()]
+            yield env.all_of(procs)
+
+    done = env.process(round_process())
+    env.run(done)
+    return env.now
+
+
+@dataclass
+class SchemeConfig:
+    """Hyper-parameters shared by all schemes.
+
+    ``local_steps`` is the number of mini-batches each client processes
+    per round (the paper's "training epoch" per client, scaled to the
+    synthetic dataset).  Momentum defaults to 0 so optimizer state need
+    not ride along with relayed models in the split schemes.
+
+    ``quantize_bits`` (extension beyond the paper) compresses the
+    smashed-data / smashed-gradient wire payloads to the given bit width;
+    training genuinely sees the quantization error, and the latency model
+    prices the smaller payloads.
+    """
+
+    batch_size: int = 16
+    local_steps: int = 2
+    lr: float = 0.05
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    eval_every: int = 1
+    eval_batch_size: int = 256
+    quantize_bits: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("batch_size", self.batch_size)
+        check_positive("local_steps", self.local_steps)
+        check_positive("lr", self.lr)
+        check_positive("eval_every", self.eval_every)
+        if self.quantize_bits is not None and not 1 <= self.quantize_bits <= 16:
+            raise ValueError(
+                f"quantize_bits must be in [1, 16] or None, got {self.quantize_bits}"
+            )
+
+
+class Scheme:
+    """Base class for the training schemes (CL / FL / SL / SplitFed / GSFL).
+
+    Subclasses implement :meth:`_run_round`, returning the round's stages;
+    the base class owns the loop: eager training + DES replay + periodic
+    evaluation into a :class:`~repro.metrics.history.TrainingHistory`.
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        model: nn.Sequential,
+        client_datasets: list[Dataset],
+        test_dataset: Dataset,
+        system: "object | None" = None,
+        profile: nn.ModelProfile | None = None,
+        config: SchemeConfig | None = None,
+        recorder: TraceRecorder | None = None,
+    ) -> None:
+        if not client_datasets:
+            raise ValueError("need at least one client dataset")
+        self.model = model
+        self.client_datasets = client_datasets
+        self.test_dataset = test_dataset
+        self.system = system
+        self.profile = profile
+        self.config = config or SchemeConfig()
+        self.recorder = recorder if recorder is not None else TraceRecorder()
+        self.history = TrainingHistory(scheme=self.name)
+        self._elapsed_s = 0.0
+        self._last_train_loss = float("nan")
+
+        rngs = spawn_rngs(self.config.seed, len(client_datasets))
+        self.client_loaders = [
+            DataLoader(
+                ds, batch_size=self.config.batch_size, shuffle=True, seed=rng
+            )
+            for ds, rng in zip(client_datasets, rngs)
+        ]
+
+    # ------------------------------------------------------------------
+    # subclass contract
+    # ------------------------------------------------------------------
+    @property
+    def num_clients(self) -> int:
+        return len(self.client_datasets)
+
+    def _run_round(self, round_index: int) -> list[Stage]:
+        """Train one round eagerly and return its timing stages."""
+        raise NotImplementedError
+
+    def _evaluation_model(self) -> nn.Module:
+        """Model to evaluate after a round (global/aggregated view)."""
+        return self.model
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def run(self, num_rounds: int) -> TrainingHistory:
+        """Train for ``num_rounds`` rounds; returns the filled history."""
+        check_positive("num_rounds", num_rounds)
+        for r in range(num_rounds):
+            stages = self._run_round(r)
+            duration = replay_stages(stages, self.recorder, r, self._elapsed_s)
+            analytic = sum(s.duration_s for s in stages)
+            if not np.isclose(duration, analytic, rtol=1e-9, atol=1e-9):
+                raise AssertionError(
+                    f"DES replay ({duration}) disagrees with analytic stage "
+                    f"latency ({analytic}) — kernel or stage construction bug"
+                )
+            self._elapsed_s += duration
+            if (r + 1) % self.config.eval_every == 0 or r == num_rounds - 1:
+                self._record_eval(r)
+        return self.history
+
+    def _record_eval(self, round_index: int) -> None:
+        _, acc = evaluate_model(
+            self._evaluation_model(),
+            self.test_dataset,
+            batch_size=self.config.eval_batch_size,
+        )
+        self.history.add(
+            round_index=round_index + 1,
+            latency_s=self._elapsed_s,
+            train_loss=self._last_train_loss,
+            test_accuracy=acc,
+        )
+
+    # ------------------------------------------------------------------
+    # shared helpers for subclasses
+    # ------------------------------------------------------------------
+    def _make_sgd(self, params: "object") -> nn.SGD:
+        return nn.SGD(
+            params,
+            lr=self.config.lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+
+    def _client_sample_counts(self) -> np.ndarray:
+        return np.array([len(ds) for ds in self.client_datasets], dtype=np.float64)

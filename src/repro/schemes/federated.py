@@ -1,0 +1,113 @@
+"""Federated learning (FL / FedAvg) baseline.
+
+Per round: the AP broadcasts the global model, every client trains the
+*full* model locally for ``local_steps`` mini-batches in parallel, all
+clients upload their full models concurrently (sharing the uplink), and
+the server FedAvg-aggregates.  This is the scheme the paper beats by
+"nearly 500% in convergence speed": FL takes only ``local_steps`` serial
+SGD steps per round (parallel training then averaging) where GSFL's
+groups take ``(N/M) * local_steps`` sequential steps, and FL moves the
+whole model over the air every round.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.core.aggregation import fedavg
+from repro.nn.tensor import Tensor
+from repro.schemes.base import Activity, Scheme, Stage
+from repro.schemes.pricing import LatencyModel
+
+__all__ = ["FederatedLearning"]
+
+
+class FederatedLearning(Scheme):
+    """FL: parallel full-model local training + FedAvg."""
+
+    name = "FL"
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)
+        self._loss_fn = nn.CrossEntropyLoss()
+        self._pricing = LatencyModel(self.system, self.profile, self.config.batch_size)
+        self._global_state = self.model.state_dict()
+
+    def _run_round(self, round_index: int) -> list[Stage]:
+        cfg = self.config
+        pricing = self._pricing
+        all_clients = list(range(self.num_clients))
+        model_bytes = pricing.full_model_nbytes()
+
+        # --- stage 1: model distribution (single AP broadcast) --------
+        distribution = Stage("distribution")
+        if pricing.enabled:
+            distribution.add(
+                "access-point",
+                Activity(
+                    pricing.broadcast_model_s(
+                        all_clients, model_bytes, pricing.total_bandwidth_hz
+                    ),
+                    "model_distribution",
+                    "access-point",
+                    nbytes=model_bytes,
+                ),
+            )
+
+        # --- stage 2: parallel local training --------------------------
+        local = Stage("local_training")
+        local_states = []
+        total_loss = 0.0
+        for c in all_clients:
+            self.model.load_state_dict(self._global_state)
+            optimizer = self._make_sgd(self.model.parameters())
+            for _ in range(cfg.local_steps):
+                xb, yb = self.client_loaders[c].sample_batch()
+                optimizer.zero_grad()
+                loss = self._loss_fn(self.model(Tensor(xb)), yb)
+                loss.backward()
+                optimizer.step()
+                total_loss += float(loss.item())
+                local.add(
+                    f"client-{c}",
+                    Activity(
+                        pricing.client_full_step_s(c),
+                        "client_compute",
+                        f"client-{c}",
+                        detail="local step",
+                    ),
+                )
+            local_states.append(self.model.state_dict())
+        self._last_train_loss = total_loss / (self.num_clients * cfg.local_steps)
+
+        # --- stage 3: concurrent full-model uploads at B/N -------------
+        upload = Stage("upload")
+        if pricing.enabled:
+            share = pricing.total_bandwidth_hz / self.num_clients
+            for c in all_clients:
+                upload.add(
+                    f"client-{c}",
+                    Activity(
+                        pricing.uplink_model_s(c, model_bytes, share),
+                        "model_upload",
+                        f"client-{c}",
+                        nbytes=model_bytes,
+                    ),
+                )
+
+        # --- stage 4: FedAvg at the server ------------------------------
+        aggregation = Stage("aggregation")
+        weights = self._client_sample_counts()
+        self._global_state = fedavg(local_states, weights)
+        self.model.load_state_dict(self._global_state)
+        aggregation.add(
+            "edge-server",
+            Activity(
+                pricing.aggregation_s(
+                    self.num_clients, self.model.num_parameters()
+                ),
+                "aggregation",
+                "edge-server",
+            ),
+        )
+
+        return [distribution, local, upload, aggregation]

@@ -1,0 +1,228 @@
+"""Parallel split learning (PSL) — the paper's reference [2] baseline.
+
+Wu et al. (JSAC 2023) parallelize split learning differently from both
+SplitFed and GSFL: all clients run their client-side forward **in
+parallel**, upload smashed data concurrently, and the edge server
+processes the *concatenated* batch through a **single** server-side
+model (one replica — minimal storage, like vanilla SL).  Gradients fan
+back out to the clients, whose client-side models are then aggregated.
+
+Comparison axes against the other schemes:
+
+================  ==================  ====================  ============
+scheme            client parallelism  server-side replicas  averaging
+================  ==================  ====================  ============
+SL                none (serial)       1                     never
+SplitFed          full                N                     every round
+GSFL              M groups            M                     every round
+PSL (this)        full                1                     every round
+================  ==================  ====================  ============
+
+PSL's server step uses an effective batch of ``N × batch_size``, so its
+gradient is lower-variance than GSFL's but it averages client halves as
+often as FL — convergence sits between FL and GSFL.  Included as an
+extension baseline (the paper cites it as the state of the art its
+grouping improves on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.core.aggregation import fedavg
+from repro.nn.quantize import simulate_wire
+from repro.nn.split import SmashedBatch, split_model
+from repro.nn.tensor import Tensor
+from repro.schemes.base import Activity, Scheme, Stage
+from repro.schemes.pricing import LatencyModel
+
+__all__ = ["ParallelSplitLearning"]
+
+
+class ParallelSplitLearning(Scheme):
+    """PSL: concurrent client forward, single server model, FedAvg of
+    client halves."""
+
+    name = "PSL"
+
+    def __init__(self, *args: object, cut_layer: int = 1, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)
+        self.cut_layer = cut_layer
+        self.split = split_model(self.model, cut_layer)
+        self._loss_fn = nn.CrossEntropyLoss()
+        self._pricing = LatencyModel(
+            self.system,
+            self.profile,
+            self.config.batch_size,
+            quantize_bits=self.config.quantize_bits,
+        )
+        self._server_opt = self._make_sgd(self.split.server.parameters())
+        self._global_client_state = self.split.client.state_dict()
+
+    def _run_round(self, round_index: int) -> list[Stage]:
+        cfg = self.config
+        pricing = self._pricing
+        share = pricing.total_bandwidth_hz / self.num_clients
+        client_model_bytes = pricing.client_model_nbytes(self.cut_layer)
+
+        distribution = Stage("distribution")
+        if pricing.enabled:
+            for c in range(self.num_clients):
+                distribution.add(
+                    f"client-{c}",
+                    Activity(
+                        pricing.downlink_model_s(c, client_model_bytes, share),
+                        "model_distribution",
+                        f"client-{c}",
+                        nbytes=client_model_bytes,
+                    ),
+                )
+
+        training = Stage("parallel_steps")
+        client_states: list[dict[str, np.ndarray]] = []
+        total_loss = 0.0
+
+        # Per-client working copies of the client half (trained in
+        # lockstep; the server half is shared and sees the fused batch).
+        for step in range(cfg.local_steps):
+            step_batches = []
+            for c in range(self.num_clients):
+                xb, yb = self.client_loaders[c].sample_batch()
+                step_batches.append((xb, yb))
+
+            smashed_per_client = []
+            client_outputs = []
+            for c, (xb, yb) in enumerate(step_batches):
+                state = (
+                    self._global_client_state if step == 0 else client_states[c]
+                )
+                self.split.client.load_state_dict(state)
+                out = self.split.client.forward(Tensor(xb))
+                wire_values = out.data.copy()
+                if pricing.quantize_bits is not None:
+                    wire_values = simulate_wire(wire_values, pricing.quantize_bits)
+                smashed_per_client.append(wire_values)
+                client_outputs.append((c, out, yb))
+                training.add(
+                    f"client-{c}",
+                    Activity(
+                        pricing.client_forward_s(c, self.cut_layer),
+                        "client_compute",
+                        f"client-{c}",
+                        detail="forward",
+                    ),
+                )
+                training.add(
+                    f"client-{c}",
+                    Activity(
+                        pricing.uplink_smashed_s(c, self.cut_layer, share),
+                        "uplink_smashed",
+                        f"client-{c}",
+                        nbytes=pricing.smashed_nbytes(self.cut_layer),
+                    ),
+                )
+
+            # --- single server step over the fused batch ----------------
+            fused = SmashedBatch(values=np.concatenate(smashed_per_client, axis=0))
+            fused_targets = np.concatenate([yb for _, _, yb in client_outputs])
+            self._server_opt.zero_grad()
+            loss, fused_grad, _ = self.split.server.forward_backward(
+                fused, fused_targets, self._loss_fn
+            )
+            self._server_opt.step()
+            if pricing.quantize_bits is not None:
+                fused_grad = simulate_wire(fused_grad, pricing.quantize_bits)
+            total_loss += loss
+            # Server compute scales with the fused batch (N x batch).
+            training.add(
+                "edge-server",
+                Activity(
+                    pricing.server_split_step_s(self.cut_layer) * self.num_clients,
+                    "server_compute",
+                    "edge-server",
+                    detail="fused batch",
+                ),
+            )
+
+            # --- gradients fan back out; client halves step --------------
+            new_states = []
+            offset = 0
+            for c, out, _ in client_outputs:
+                batch = out.shape[0]
+                grad_slice = fused_grad[offset : offset + batch]
+                offset += batch
+                state = (
+                    self._global_client_state if step == 0 else client_states[c]
+                )
+                self.split.client.load_state_dict(state)
+                # Re-run the forward to rebuild this client's graph (the
+                # shared working module was overwritten by later clients).
+                # Deterministic layers reproduce the same smashed values;
+                # batch-norm running stats are touched twice per step,
+                # which only perturbs the (aggregated) buffers slightly.
+                xb, _ = step_batches[c]
+                self.split.client.forward_to_smashed(Tensor(xb))
+                opt = self._make_sgd(self.split.client.parameters())
+                opt.zero_grad()
+                self.split.client.backward_from_gradient(grad_slice)
+                opt.step()
+                new_states.append(self.split.client.state_dict())
+                training.add(
+                    f"client-{c}",
+                    Activity(
+                        pricing.downlink_gradient_s(c, self.cut_layer, share),
+                        "downlink_gradient",
+                        f"client-{c}",
+                        nbytes=pricing.smashed_nbytes(self.cut_layer),
+                    ),
+                )
+                training.add(
+                    f"client-{c}",
+                    Activity(
+                        pricing.client_backward_s(c, self.cut_layer),
+                        "client_compute",
+                        f"client-{c}",
+                        detail="backward",
+                    ),
+                )
+            client_states = new_states
+
+        self._last_train_loss = total_loss / cfg.local_steps
+
+        upload = Stage("upload")
+        if pricing.enabled:
+            for c in range(self.num_clients):
+                upload.add(
+                    f"client-{c}",
+                    Activity(
+                        pricing.uplink_model_s(c, client_model_bytes, share),
+                        "model_upload",
+                        f"client-{c}",
+                        nbytes=client_model_bytes,
+                    ),
+                )
+
+        aggregation = Stage("aggregation")
+        self._global_client_state = fedavg(
+            client_states, self._client_sample_counts()
+        )
+        self.split.client.load_state_dict(self._global_client_state)
+        aggregation.add(
+            "edge-server",
+            Activity(
+                pricing.aggregation_s(self.num_clients, self.model.num_parameters()),
+                "aggregation",
+                "edge-server",
+            ),
+        )
+        return [distribution, training, upload, aggregation]
+
+    def server_side_replicas(self) -> int:
+        """PSL keeps a single server-side model (like vanilla SL)."""
+        return 1
+
+    def server_storage_bytes(self) -> int:
+        if not self._pricing.enabled:
+            return 0
+        return self.profile.server_model_bytes(self.cut_layer)

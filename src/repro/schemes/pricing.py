@@ -1,0 +1,171 @@
+"""Latency pricing for scheme activities.
+
+:class:`LatencyModel` converts protocol actions (client forward pass,
+smashed-data upload, model relay, ...) into seconds using the wireless
+system and the static model profile.  Constructed with ``system=None`` it
+prices everything at zero — "pure algorithm" mode for accuracy-only runs
+and fast tests.
+
+Fading realizations are drawn per transmission through the channel's own
+generator, so latency traces are reproducible for a fixed scenario seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.profile import ModelProfile
+from repro.nn.serialize import WIRE_BYTES_PER_SCALAR
+from repro.wireless.system import WirelessSystem
+
+__all__ = ["LatencyModel"]
+
+#: FLOPs charged per parameter for a FedAvg aggregation pass
+AGGREGATION_FLOPS_PER_PARAM = 2.0
+
+
+class LatencyModel:
+    """Prices protocol actions in seconds (zero-priced when no system)."""
+
+    def __init__(
+        self,
+        system: WirelessSystem | None,
+        profile: ModelProfile | None,
+        batch_size: int,
+        quantize_bits: int | None = None,
+    ) -> None:
+        if (system is None) != (profile is None):
+            raise ValueError(
+                "system and profile must be given together (or both omitted)"
+            )
+        if quantize_bits is not None and not 1 <= quantize_bits <= 16:
+            raise ValueError(f"quantize_bits must be in [1, 16], got {quantize_bits}")
+        self.system = system
+        self.profile = profile
+        self.batch_size = batch_size
+        self.quantize_bits = quantize_bits
+
+    @property
+    def enabled(self) -> bool:
+        return self.system is not None
+
+    # ------------------------------------------------------------------
+    # compute
+    # ------------------------------------------------------------------
+    def client_forward_s(self, client: int, cut_layer: int) -> float:
+        if not self.enabled:
+            return 0.0
+        flops = self.profile.client_forward_flops(cut_layer) * self.batch_size
+        return self.system.client_compute_seconds(client, flops)
+
+    def client_backward_s(self, client: int, cut_layer: int) -> float:
+        if not self.enabled:
+            return 0.0
+        flops = self.profile.client_backward_flops(cut_layer) * self.batch_size
+        return self.system.client_compute_seconds(client, flops)
+
+    def client_full_step_s(self, client: int) -> float:
+        """Full-model forward+backward on the client (FL local step)."""
+        if not self.enabled:
+            return 0.0
+        per_sample = self.profile.total_forward_flops
+        flops = 3.0 * per_sample * self.batch_size  # fwd + ~2x bwd
+        return self.system.client_compute_seconds(client, flops)
+
+    def server_split_step_s(self, cut_layer: int) -> float:
+        """Server-side forward+backward for one smashed batch."""
+        if not self.enabled:
+            return 0.0
+        flops = (
+            self.profile.server_forward_flops(cut_layer)
+            + self.profile.server_backward_flops(cut_layer)
+        ) * self.batch_size
+        return self.system.server_compute_seconds(flops)
+
+    def server_full_step_s(self) -> float:
+        """Full-model forward+backward on the server (CL step)."""
+        if not self.enabled:
+            return 0.0
+        flops = 3.0 * self.profile.total_forward_flops * self.batch_size
+        return self.system.server_compute_seconds(flops)
+
+    def aggregation_s(self, num_participants: int, num_params: int) -> float:
+        if not self.enabled:
+            return 0.0
+        flops = AGGREGATION_FLOPS_PER_PARAM * num_params * num_participants
+        return self.system.server_compute_seconds(flops)
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def smashed_nbytes(self, cut_layer: int) -> int:
+        if not self.enabled:
+            return 0
+        full = self.profile.smashed_bytes(cut_layer, self.batch_size)
+        if self.quantize_bits is None:
+            return full
+        scalars = full // WIRE_BYTES_PER_SCALAR
+        return int(np.ceil(scalars * self.quantize_bits / 8)) + 8
+
+    def uplink_smashed_s(self, client: int, cut_layer: int, bandwidth_hz: float) -> float:
+        if not self.enabled:
+            return 0.0
+        nbits = 8 * self.smashed_nbytes(cut_layer)
+        return self.system.uplink_seconds(client, nbits, bandwidth_hz)
+
+    def downlink_gradient_s(self, client: int, cut_layer: int, bandwidth_hz: float) -> float:
+        if not self.enabled:
+            return 0.0
+        nbits = 8 * self.smashed_nbytes(cut_layer)
+        return self.system.downlink_seconds(client, nbits, bandwidth_hz)
+
+    def client_model_nbytes(self, cut_layer: int) -> int:
+        if not self.enabled:
+            return 0
+        return self.profile.client_model_bytes(cut_layer)
+
+    def full_model_nbytes(self) -> int:
+        if not self.enabled:
+            return 0
+        return self.profile.total_param_bytes
+
+    def uplink_model_s(self, client: int, nbytes: int, bandwidth_hz: float) -> float:
+        if not self.enabled or nbytes == 0:
+            return 0.0
+        return self.system.uplink_seconds(client, 8 * nbytes, bandwidth_hz)
+
+    def downlink_model_s(self, client: int, nbytes: int, bandwidth_hz: float) -> float:
+        if not self.enabled or nbytes == 0:
+            return 0.0
+        return self.system.downlink_seconds(client, 8 * nbytes, bandwidth_hz)
+
+    def broadcast_model_s(self, clients: list[int], nbytes: int, bandwidth_hz: float) -> float:
+        """One AP broadcast decoded by every listed client.
+
+        The transmission must close at the *weakest* listener's rate.
+        """
+        if not self.enabled or nbytes == 0:
+            return 0.0
+        return max(
+            self.system.downlink_seconds(c, 8 * nbytes, bandwidth_hz) for c in clients
+        )
+
+    def dataset_nbytes(self, num_samples: int) -> int:
+        """Raw-data payload for CL's one-time upload."""
+        if not self.enabled:
+            return 0
+        per_sample = int(np.prod(self.profile.input_shape)) + 1  # pixels + label
+        return num_samples * per_sample * WIRE_BYTES_PER_SCALAR
+
+    def uplink_data_s(self, client: int, num_samples: int, bandwidth_hz: float) -> float:
+        if not self.enabled:
+            return 0.0
+        return self.system.uplink_seconds(
+            client, 8 * self.dataset_nbytes(num_samples), bandwidth_hz
+        )
+
+    @property
+    def total_bandwidth_hz(self) -> float:
+        if not self.enabled:
+            return 1.0
+        return self.system.allocator.total_bandwidth_hz

@@ -1,0 +1,114 @@
+"""Vanilla split learning (SL) baseline.
+
+Gupta & Raskar's sequential protocol: one client-side model is relayed
+client-to-client (through the AP, as in the paper's model-sharing step)
+while a single server-side model at the edge absorbs every client's
+smashed data in turn.  All N clients train *sequentially* within a round
+— the "long training latency" (§I) that motivates GSFL.  The whole round
+is one serial track, with the full system bandwidth available to the
+single active transmitter.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.nn.split import split_model
+from repro.schemes.base import Activity, Scheme, Stage
+from repro.schemes.pricing import LatencyModel
+from repro.schemes.split_common import split_local_round
+
+__all__ = ["SplitLearning"]
+
+
+class SplitLearning(Scheme):
+    """SL: sequential relay split learning with a single server model."""
+
+    name = "SL"
+
+    def __init__(self, *args: object, cut_layer: int = 1, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)
+        self.cut_layer = cut_layer
+        self.split = split_model(self.model, cut_layer)
+        self._client_opt = self._make_sgd(self.split.client.parameters())
+        self._server_opt = self._make_sgd(self.split.server.parameters())
+        self._loss_fn = nn.CrossEntropyLoss()
+        self._pricing = LatencyModel(
+            self.system,
+            self.profile,
+            self.config.batch_size,
+            quantize_bits=self.config.quantize_bits,
+        )
+
+    def _run_round(self, round_index: int) -> list[Stage]:
+        pricing = self._pricing
+        bandwidth = pricing.total_bandwidth_hz  # sole transmitter gets all of it
+        client_model_bytes = pricing.client_model_nbytes(self.cut_layer)
+        stage = Stage("sequential_training")
+        track = "sl-relay"
+        total_loss = 0.0
+
+        for position, client in enumerate(range(self.num_clients)):
+            if position == 0:
+                # Round start: AP sends the client-side model to the first
+                # client (paper §II-A model distribution).
+                stage.add(
+                    track,
+                    Activity(
+                        pricing.downlink_model_s(client, client_model_bytes, bandwidth),
+                        "model_distribution",
+                        f"client-{client}",
+                        nbytes=client_model_bytes,
+                    ),
+                )
+            loss, activities = split_local_round(
+                client_id=client,
+                split=self.split,
+                client_opt=self._client_opt,
+                server_opt=self._server_opt,
+                loader=self.client_loaders[client],
+                loss_fn=self._loss_fn,
+                local_steps=self.config.local_steps,
+                pricing=pricing,
+                bandwidth_hz=bandwidth,
+            )
+            total_loss += loss
+            stage.extend(track, activities)
+
+            if position < self.num_clients - 1:
+                # Relay the client-side model to the next client via the AP.
+                stage.add(
+                    track,
+                    Activity(
+                        pricing.uplink_model_s(client, client_model_bytes, bandwidth)
+                        + pricing.downlink_model_s(
+                            client + 1, client_model_bytes, bandwidth
+                        ),
+                        "model_relay",
+                        f"client-{client}",
+                        nbytes=2 * client_model_bytes,
+                    ),
+                )
+            else:
+                # Last client returns the client-side model to the AP
+                # (paper §II-B-3).
+                stage.add(
+                    track,
+                    Activity(
+                        pricing.uplink_model_s(client, client_model_bytes, bandwidth),
+                        "model_upload",
+                        f"client-{client}",
+                        nbytes=client_model_bytes,
+                    ),
+                )
+
+        self._last_train_loss = total_loss / self.num_clients
+        return [stage]
+
+    def server_side_replicas(self) -> int:
+        """Vanilla SL hosts a single server-side model."""
+        return 1
+
+    def server_storage_bytes(self) -> int:
+        if not self._pricing.enabled:
+            return 0
+        return self.profile.server_model_bytes(self.cut_layer)

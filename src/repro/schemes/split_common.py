@@ -1,0 +1,110 @@
+"""Shared split-training engine used by SL, SplitFed and GSFL.
+
+:func:`split_local_round` executes one client's local training against a
+server-side model half — the paper's §II-B loop: sample batch → client
+forward → (uplink smashed) → server forward/backward → (downlink
+gradient) → client backward → both sides step — and returns the mean loss
+together with the priced activity list for the latency replay.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.data.dataset import DataLoader
+from repro.nn.quantize import simulate_wire
+from repro.nn.split import SmashedBatch, SplitModel
+from repro.nn.tensor import Tensor
+from repro.schemes.base import Activity
+from repro.schemes.pricing import LatencyModel
+
+__all__ = ["split_local_round"]
+
+
+def split_local_round(
+    client_id: int,
+    split: SplitModel,
+    client_opt: nn.Optimizer,
+    server_opt: nn.Optimizer,
+    loader: DataLoader,
+    loss_fn: object,
+    local_steps: int,
+    pricing: LatencyModel,
+    bandwidth_hz: float,
+) -> tuple[float, list[Activity]]:
+    """One client's split-training round.
+
+    Returns ``(mean_batch_loss, activities)`` where activities alternate
+    client compute / uplink / server compute / downlink per batch.
+    """
+    cut = split.cut_layer
+    actor = f"client-{client_id}"
+    activities: list[Activity] = []
+    total_loss = 0.0
+
+    for _ in range(local_steps):
+        xb, yb = loader.sample_batch()
+
+        # --- client forward, smashed data crosses the cut -------------
+        smashed = split.client.forward_to_smashed(Tensor(xb))
+        if pricing.quantize_bits is not None:
+            # The wire carries quantized activations; the server trains on
+            # exactly what survived quantization.
+            smashed = SmashedBatch(
+                values=simulate_wire(smashed.values, pricing.quantize_bits)
+            )
+        activities.append(
+            Activity(
+                pricing.client_forward_s(client_id, cut),
+                "client_compute",
+                actor,
+                detail="forward",
+            )
+        )
+        activities.append(
+            Activity(
+                pricing.uplink_smashed_s(client_id, cut, bandwidth_hz),
+                "uplink_smashed",
+                actor,
+                nbytes=pricing.smashed_nbytes(cut),
+            )
+        )
+
+        # --- server forward + backward, gradient comes back -----------
+        server_opt.zero_grad()
+        loss_value, smashed_grad, _ = split.server.forward_backward(smashed, yb, loss_fn)
+        server_opt.step()
+        if pricing.quantize_bits is not None:
+            smashed_grad = simulate_wire(smashed_grad, pricing.quantize_bits)
+        activities.append(
+            Activity(
+                pricing.server_split_step_s(cut),
+                "server_compute",
+                "edge-server",
+                detail=f"for {actor}",
+            )
+        )
+        activities.append(
+            Activity(
+                pricing.downlink_gradient_s(client_id, cut, bandwidth_hz),
+                "downlink_gradient",
+                actor,
+                nbytes=pricing.smashed_nbytes(cut),
+            )
+        )
+
+        # --- client backward from the received gradient ---------------
+        client_opt.zero_grad()
+        split.client.backward_from_gradient(smashed_grad)
+        client_opt.step()
+        activities.append(
+            Activity(
+                pricing.client_backward_s(client_id, cut),
+                "client_compute",
+                actor,
+                detail="backward",
+            )
+        )
+
+        total_loss += loss_value
+
+    return total_loss / local_steps, activities

@@ -1,0 +1,127 @@
+"""SplitFed learning (SFL) — the hybrid scheme the paper argues against.
+
+Thapa et al.'s SplitFed-V1: *every* client trains in parallel against its
+*own* server-side model replica, then both halves are FedAvg-aggregated.
+This removes SL's sequential latency but "when there are many clients,
+the number of server-side models is large, consuming prohibitive storage
+resources" (paper §I) — exactly the gap GSFL fills with M ≪ N replicas.
+
+Included as (a) the storage-footprint comparator and (b) the M=N extreme
+of the grouping ablation.  Protocol-wise it is GSFL with singleton
+groups; convergence-wise it matches FL's averaging frequency (every
+``local_steps`` updates) while moving only smashed data and half-models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.core.aggregation import fedavg
+from repro.nn.split import split_model
+from repro.schemes.base import Activity, Scheme, Stage
+from repro.schemes.pricing import LatencyModel
+from repro.schemes.split_common import split_local_round
+
+__all__ = ["SplitFedLearning"]
+
+
+class SplitFedLearning(Scheme):
+    """SplitFed-V1: fully parallel split learning, one replica per client."""
+
+    name = "SplitFed"
+
+    def __init__(self, *args: object, cut_layer: int = 1, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)
+        self.cut_layer = cut_layer
+        self.split = split_model(self.model, cut_layer)
+        self._loss_fn = nn.CrossEntropyLoss()
+        self._pricing = LatencyModel(
+            self.system,
+            self.profile,
+            self.config.batch_size,
+            quantize_bits=self.config.quantize_bits,
+        )
+        self._global_client_state = self.split.client.state_dict()
+        self._global_server_state = self.split.server.state_dict()
+
+    def _run_round(self, round_index: int) -> list[Stage]:
+        pricing = self._pricing
+        share = pricing.total_bandwidth_hz / self.num_clients
+        client_model_bytes = pricing.client_model_nbytes(self.cut_layer)
+
+        training = Stage("parallel_training")
+        client_states: list[dict[str, np.ndarray]] = []
+        server_states: list[dict[str, np.ndarray]] = []
+        total_loss = 0.0
+
+        for client in range(self.num_clients):
+            track = f"client-{client}"
+            self.split.client.load_state_dict(self._global_client_state)
+            self.split.server.load_state_dict(self._global_server_state)
+            client_opt = self._make_sgd(self.split.client.parameters())
+            server_opt = self._make_sgd(self.split.server.parameters())
+
+            training.add(
+                track,
+                Activity(
+                    pricing.downlink_model_s(client, client_model_bytes, share),
+                    "model_distribution",
+                    track,
+                    nbytes=client_model_bytes,
+                ),
+            )
+            loss, activities = split_local_round(
+                client_id=client,
+                split=self.split,
+                client_opt=client_opt,
+                server_opt=server_opt,
+                loader=self.client_loaders[client],
+                loss_fn=self._loss_fn,
+                local_steps=self.config.local_steps,
+                pricing=pricing,
+                bandwidth_hz=share,
+            )
+            total_loss += loss
+            training.extend(track, activities)
+            training.add(
+                track,
+                Activity(
+                    pricing.uplink_model_s(client, client_model_bytes, share),
+                    "model_upload",
+                    track,
+                    nbytes=client_model_bytes,
+                ),
+            )
+            client_states.append(self.split.client.state_dict())
+            server_states.append(self.split.server.state_dict())
+
+        self._last_train_loss = total_loss / self.num_clients
+
+        aggregation = Stage("aggregation")
+        weights = self._client_sample_counts()
+        self._global_client_state = fedavg(client_states, weights)
+        self._global_server_state = fedavg(server_states, weights)
+        self.split.client.load_state_dict(self._global_client_state)
+        self.split.server.load_state_dict(self._global_server_state)
+        aggregation.add(
+            "edge-server",
+            Activity(
+                pricing.aggregation_s(self.num_clients, self.model.num_parameters()),
+                "aggregation",
+                "edge-server",
+            ),
+        )
+        return [training, aggregation]
+
+    # ------------------------------------------------------------------
+    # storage accounting (the paper's §I argument)
+    # ------------------------------------------------------------------
+    def server_side_replicas(self) -> int:
+        """SplitFed hosts one server-side replica per client (= N)."""
+        return self.num_clients
+
+    def server_storage_bytes(self) -> int:
+        if not self._pricing.enabled:
+            return 0
+        return self.num_clients * self.profile.server_model_bytes(self.cut_layer)

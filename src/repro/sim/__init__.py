@@ -1,0 +1,26 @@
+"""``repro.sim`` — deterministic discrete-event simulation kernel.
+
+Generator-coroutine processes over a heap-driven event loop (SimPy-style),
+counting-semaphore resources, a processor-sharing shared-link model, and
+latency trace recording.  The wireless training schemes are expressed as
+processes over this kernel.
+"""
+
+from repro.sim.engine import Environment, Process
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.resources import FairShareLink, Resource
+from repro.sim.trace import PHASES, TraceEvent, TraceRecorder
+
+__all__ = [
+    "Environment",
+    "Process",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "FairShareLink",
+    "TraceEvent",
+    "TraceRecorder",
+    "PHASES",
+]

@@ -1,0 +1,135 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic, heap-driven event loop in the style of SimPy:
+processes are Python generators that ``yield`` :class:`~repro.sim.events.Event`
+objects to suspend; the kernel resumes them (sending the event's value)
+when the event fires.  Ties in simulated time break by insertion order,
+so runs are fully reproducible.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def worker(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(worker(env, "a", 2.0))
+>>> _ = env.process(worker(env, "b", 1.0))
+>>> env.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generator
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+__all__ = ["Environment", "Process"]
+
+
+class Process(Event):
+    """A running generator coroutine; itself an event firing on return.
+
+    The generator's ``return`` value becomes the process event's value, so
+    processes can wait on each other (fork/join).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        self._generator = generator
+        # Kick off on the next kernel step at current time.
+        kickoff = Event(env)
+        kickoff.add_callback(self._resume)
+        env._schedule(env.now, kickoff, None)
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self._generator.send(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process yielded {type(target).__name__}; processes must yield Event"
+            )
+        target.add_callback(self._resume)
+
+
+class Environment:
+    """Simulation environment: clock + event queue + process spawner."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event, Any]] = []
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def _schedule(self, at: float, event: Event, value: Any) -> None:
+        if at < self.now:
+            raise RuntimeError(f"cannot schedule in the past ({at} < {self.now})")
+        heapq.heappush(self._queue, (at, next(self._counter), event, value))
+
+    def event(self) -> Event:
+        """Create an untriggered event bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Spawn a process; returns its completion event."""
+        return Process(self, generator)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """Barrier over ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        """Race over ``events``."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Pop and fire the next scheduled event."""
+        at, _, event, value = heapq.heappop(self._queue)
+        self.now = at
+        if not event.triggered:
+            event.succeed(value)
+
+    def run(self, until: float | Event | None = None) -> None:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be a simulated-time deadline (the clock stops exactly
+        there), an :class:`Event` (stop once it has triggered), or ``None``
+        (drain everything).
+        """
+        if isinstance(until, Event):
+            while not until.triggered:
+                if not self._queue:
+                    raise RuntimeError(
+                        "event queue drained before the awaited event triggered "
+                        "(deadlocked process or missing trigger)"
+                    )
+                self.step()
+            return
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (not yet fired) queue entries."""
+        return len(self._queue)

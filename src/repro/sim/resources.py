@@ -1,0 +1,155 @@
+"""Shared resources for the simulation kernel.
+
+:class:`Resource` is a counting semaphore with FIFO queueing — used to
+model the edge server's limited pool of server-side model replicas (GSFL
+hosts ``M`` replicas; a group must hold one to train).
+
+:class:`FairShareLink` models a shared wireless medium as an egalitarian
+processor-sharing queue: ``capacity_bps`` is divided equally among the
+flows in flight, and each flow's completion time is recomputed whenever
+membership changes.  This captures the contention GSFL creates when all
+``M`` groups transmit concurrently — the effect behind the latency
+crossover between GSFL and SL for large ``M``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+__all__ = ["Resource", "FairShareLink"]
+
+
+class Resource:
+    """Counting semaphore with FIFO grant order.
+
+    Usage::
+
+        grant = resource.request()
+        yield grant          # suspends until a slot is free
+        ...                  # critical section
+        resource.release()
+    """
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    def request(self) -> Event:
+        """Return an event that fires when a slot is granted."""
+        grant = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            # Grant immediately but asynchronously (deterministic ordering).
+            self.env._schedule(self.env.now, grant, None)
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Release one slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without a matching request()")
+        if self._waiters:
+            grant = self._waiters.popleft()
+            self.env._schedule(self.env.now, grant, None)
+        else:
+            self._in_use -= 1
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+
+@dataclass
+class _Flow:
+    """One in-flight transfer on a shared link."""
+
+    remaining_bits: float
+    done: Event
+    last_update: float
+    completion: Event | None = field(default=None)
+
+
+class FairShareLink:
+    """Egalitarian processor-sharing model of a shared medium.
+
+    All active flows receive ``capacity_bps / n_active``.  On every arrival
+    or departure the remaining bits of each flow are decremented by the
+    service received since the last membership change and completion events
+    are rescheduled.  With a single flow this reduces to
+    ``bits / capacity_bps`` exactly.
+    """
+
+    def __init__(self, env: Environment, capacity_bps: float) -> None:
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity_bps must be positive, got {capacity_bps}")
+        self.env = env
+        self.capacity_bps = capacity_bps
+        self._flows: list[_Flow] = []
+
+    def transfer(self, nbits: float) -> Event:
+        """Start a transfer; returns an event fired at completion."""
+        if nbits <= 0:
+            raise ValueError(f"nbits must be positive, got {nbits}")
+        done = Event(self.env)
+        self._settle()
+        self._flows.append(_Flow(remaining_bits=float(nbits), done=done, last_update=self.env.now))
+        self._reschedule()
+        return done
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _rate_per_flow(self) -> float:
+        return self.capacity_bps / max(len(self._flows), 1)
+
+    def _settle(self) -> None:
+        """Charge elapsed service to every active flow."""
+        now = self.env.now
+        rate = self._rate_per_flow()
+        for flow in self._flows:
+            elapsed = now - flow.last_update
+            flow.remaining_bits = max(0.0, flow.remaining_bits - elapsed * rate)
+            flow.last_update = now
+
+    def _reschedule(self) -> None:
+        """Recompute completion times for all flows after a change."""
+        rate = self._rate_per_flow()
+        for flow in self._flows:
+            # Invalidate any previously scheduled completion by swapping in
+            # a fresh internal event.
+            completion = Event(self.env)
+            flow.completion = completion
+            eta = flow.remaining_bits / rate
+            self.env._schedule(self.env.now + eta, completion, None)
+            completion.add_callback(self._make_finisher(flow, completion))
+
+    def _make_finisher(self, flow: _Flow, completion: Event):
+        def _finish(_: Event) -> None:
+            # Stale completion (membership changed since scheduling): ignore.
+            if flow.completion is not completion or flow.done.triggered:
+                return
+            self._settle()
+            if flow.remaining_bits > 1e-9:
+                return  # numerical guard; a reschedule will finish it
+            self._flows.remove(flow)
+            self._reschedule()
+            flow.done.succeed()
+
+        return _finish

@@ -1,0 +1,132 @@
+"""Latency trace recording.
+
+Every simulated activity (computation, transmission, waiting, aggregation)
+is logged as a :class:`TraceEvent`.  The per-phase/per-actor aggregations
+drive the latency-breakdown benchmark and make the simulator auditable:
+the sum of a round's critical-path events must equal the round latency.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["TraceEvent", "TraceRecorder", "PHASES"]
+
+#: canonical phase names used across the schemes
+PHASES = (
+    "model_distribution",
+    "client_compute",
+    "uplink_smashed",
+    "server_compute",
+    "downlink_gradient",
+    "model_relay",
+    "model_upload",
+    "model_download",
+    "aggregation",
+    "data_upload",
+    "wait",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timed activity in the simulation."""
+
+    start: float
+    end: float
+    phase: str
+    actor: str
+    round_index: int
+    nbytes: int = 0
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"event ends before it starts: {self}")
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` rows with cheap aggregation helpers."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(
+        self,
+        start: float,
+        end: float,
+        phase: str,
+        actor: str,
+        round_index: int,
+        nbytes: int = 0,
+        detail: str = "",
+    ) -> TraceEvent:
+        """Append one event (phase must be a canonical phase name)."""
+        if phase not in PHASES:
+            raise ValueError(f"unknown phase {phase!r}; expected one of {PHASES}")
+        event = TraceEvent(start, end, phase, actor, round_index, nbytes, detail)
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    # aggregations
+    # ------------------------------------------------------------------
+    def total_time_by_phase(self) -> dict[str, float]:
+        """Summed durations per phase (overlapping events both count)."""
+        totals: dict[str, float] = defaultdict(float)
+        for event in self.events:
+            totals[event.phase] += event.duration
+        return dict(totals)
+
+    def total_bytes_by_phase(self) -> dict[str, int]:
+        """Summed payload bytes per phase."""
+        totals: dict[str, int] = defaultdict(int)
+        for event in self.events:
+            totals[event.phase] += event.nbytes
+        return dict(totals)
+
+    def events_in_round(self, round_index: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.round_index == round_index]
+
+    def round_span(self, round_index: int) -> tuple[float, float]:
+        """(first start, last end) over a round's events."""
+        events = self.events_in_round(round_index)
+        if not events:
+            raise ValueError(f"no events recorded for round {round_index}")
+        return min(e.start for e in events), max(e.end for e in events)
+
+    def actors(self) -> list[str]:
+        return sorted({e.actor for e in self.events})
+
+    def busy_time(self, actor: str) -> float:
+        """Total non-wait busy time of one actor."""
+        return sum(e.duration for e in self.events if e.actor == actor and e.phase != "wait")
+
+    def total_bytes(self) -> int:
+        return sum(e.nbytes for e in self.events)
+
+    def filter(
+        self, phases: Iterable[str] | None = None, actor_prefix: str | None = None
+    ) -> list[TraceEvent]:
+        """Events matching the given phases and/or actor-name prefix."""
+        phase_set = set(phases) if phases is not None else None
+        out = []
+        for event in self.events:
+            if phase_set is not None and event.phase not in phase_set:
+                continue
+            if actor_prefix is not None and not event.actor.startswith(actor_prefix):
+                continue
+            out.append(event)
+        return out

@@ -1,0 +1,125 @@
+"""Bandwidth allocation policies over concurrent transmitters.
+
+In GSFL up to ``M`` clients (one per group) transmit simultaneously and
+must share the system bandwidth; SL and CL have a single active
+transmitter; FL has all ``N`` uploading at round end.  The paper defers
+allocation design to future work (§IV) — we implement the natural
+candidates and expose them for the resource-allocation ablation:
+
+* :class:`EqualAllocation` — uniform split (baseline used in the figures);
+* :class:`ProportionalRateAllocation` — shares ∝ spectral efficiency, so
+  strong links get more spectrum (throughput-maximizing tilt);
+* :class:`InverseRateAllocation` — shares ∝ 1/spectral-efficiency, which
+  equalizes transmission *times* across concurrent links and minimizes
+  the slowest-straggler latency for equal payloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+from repro.wireless.channel import WirelessChannel
+
+__all__ = [
+    "BandwidthAllocator",
+    "EqualAllocation",
+    "ProportionalRateAllocation",
+    "InverseRateAllocation",
+    "make_allocator",
+]
+
+
+class BandwidthAllocator:
+    """Maps a set of concurrently active clients to bandwidth shares."""
+
+    name: str = "base"
+
+    def __init__(self, total_bandwidth_hz: float) -> None:
+        check_positive("total_bandwidth_hz", total_bandwidth_hz)
+        self.total_bandwidth_hz = total_bandwidth_hz
+
+    def shares(self, active_clients: list[int], channel: WirelessChannel) -> dict[int, float]:
+        """Bandwidth in Hz per active client; must sum to the total."""
+        raise NotImplementedError
+
+    def _weights_to_shares(
+        self, active_clients: list[int], weights: np.ndarray
+    ) -> dict[int, float]:
+        weights = np.asarray(weights, dtype=np.float64)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("allocation weights must have positive sum")
+        return {
+            c: float(self.total_bandwidth_hz * w / total)
+            for c, w in zip(active_clients, weights)
+        }
+
+
+class EqualAllocation(BandwidthAllocator):
+    """Uniform split among active transmitters."""
+
+    name = "equal"
+
+    def shares(self, active_clients: list[int], channel: WirelessChannel) -> dict[int, float]:
+        if not active_clients:
+            return {}
+        return self._weights_to_shares(active_clients, np.ones(len(active_clients)))
+
+
+class ProportionalRateAllocation(BandwidthAllocator):
+    """Shares proportional to each link's spectral efficiency.
+
+    Spectral efficiency uses the shadowed mean SNR (no fast fading) so the
+    allocation is stable within a round.
+    """
+
+    name = "proportional_rate"
+
+    def shares(self, active_clients: list[int], channel: WirelessChannel) -> dict[int, float]:
+        if not active_clients:
+            return {}
+        eff = np.array(
+            [self._spectral_efficiency(channel, c) for c in active_clients]
+        )
+        return self._weights_to_shares(active_clients, eff)
+
+    @staticmethod
+    def _spectral_efficiency(channel: WirelessChannel, client: int) -> float:
+        snr_db = channel.expected_snr_db(client, bandwidth_hz=1e6)
+        return float(np.log2(1.0 + 10.0 ** (snr_db / 10.0)))
+
+
+class InverseRateAllocation(BandwidthAllocator):
+    """Shares proportional to 1/spectral-efficiency (equalizes airtime).
+
+    For equal payloads this minimizes the maximum transmission time across
+    concurrent links, the straggler bound that gates a GSFL round.
+    """
+
+    name = "inverse_rate"
+
+    def shares(self, active_clients: list[int], channel: WirelessChannel) -> dict[int, float]:
+        if not active_clients:
+            return {}
+        eff = np.array(
+            [
+                ProportionalRateAllocation._spectral_efficiency(channel, c)
+                for c in active_clients
+            ]
+        )
+        return self._weights_to_shares(active_clients, 1.0 / np.maximum(eff, 1e-6))
+
+
+_ALLOCATORS = {
+    "equal": EqualAllocation,
+    "proportional_rate": ProportionalRateAllocation,
+    "inverse_rate": InverseRateAllocation,
+}
+
+
+def make_allocator(name: str, total_bandwidth_hz: float) -> BandwidthAllocator:
+    """Factory by policy name (``equal`` / ``proportional_rate`` / ``inverse_rate``)."""
+    if name not in _ALLOCATORS:
+        raise ValueError(f"unknown allocator {name!r}; choose from {sorted(_ALLOCATORS)}")
+    return _ALLOCATORS[name](total_bandwidth_hz)

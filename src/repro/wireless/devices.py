@@ -1,0 +1,87 @@
+"""Compute capability model for clients and the edge server.
+
+The paper's premise is *resource-limited* clients against an edge server
+"featuring abundant computation and storage resources".  We model
+effective throughput in FLOP/s; computation latency for a workload is
+``flops / flops_per_second``.  Client heterogeneity is drawn from a
+log-normal spread around a nominal mobile-SoC figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["DeviceProfile", "DeviceFleet", "EDGE_SERVER_FLOPS", "MOBILE_DEVICE_FLOPS"]
+
+#: nominal effective throughputs (FLOP/s); edge GPU (~1 TFLOPS effective)
+#: vs IoT/wearable-class client (~250 MFLOPS float) — the paper's
+#: "resource-limited" mobile devices
+EDGE_SERVER_FLOPS = 1.0e12
+MOBILE_DEVICE_FLOPS = 2.5e8
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One device's compute capability."""
+
+    name: str
+    flops_per_second: float
+    storage_bytes: int = 8 * 1024**3
+
+    def __post_init__(self) -> None:
+        check_positive("flops_per_second", self.flops_per_second)
+        check_non_negative("storage_bytes", self.storage_bytes)
+
+    def compute_time(self, flops: float) -> float:
+        """Seconds to execute ``flops`` floating-point operations."""
+        check_non_negative("flops", flops)
+        return flops / self.flops_per_second
+
+
+class DeviceFleet:
+    """The edge server plus a heterogeneous set of client devices.
+
+    ``heterogeneity`` is the log-normal sigma of the client FLOP/s spread
+    (0 = identical clients, the paper's implicit setting).
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        client_flops: float = MOBILE_DEVICE_FLOPS,
+        server_flops: float = EDGE_SERVER_FLOPS,
+        heterogeneity: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        check_positive("num_clients", num_clients)
+        check_positive("client_flops", client_flops)
+        check_positive("server_flops", server_flops)
+        check_non_negative("heterogeneity", heterogeneity)
+        rng = new_rng(seed)
+        self.server = DeviceProfile(
+            "edge-server", server_flops, storage_bytes=512 * 1024**3
+        )
+        if heterogeneity > 0:
+            factors = rng.lognormal(mean=0.0, sigma=heterogeneity, size=num_clients)
+        else:
+            factors = np.ones(num_clients)
+        self.clients = [
+            DeviceProfile(f"client-{i}", client_flops * float(factors[i]))
+            for i in range(num_clients)
+        ]
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    def client(self, index: int) -> DeviceProfile:
+        return self.clients[index]
+
+    def client_flops_array(self) -> np.ndarray:
+        """FLOP/s of every client (used by compute-balanced grouping)."""
+        return np.array([c.flops_per_second for c in self.clients])

@@ -1,0 +1,125 @@
+"""Privacy-analysis tests: distance correlation math and inversion attack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.privacy import (
+    PrivacyReport,
+    distance_correlation,
+    reconstruction_attack,
+    sweep_cut_privacy,
+)
+from repro.experiments.scenario import fast_scenario
+from repro.nn.split import split_model
+
+
+class TestDistanceCorrelation:
+    def test_identical_data_is_one(self):
+        x = np.random.default_rng(0).normal(size=(30, 5))
+        assert distance_correlation(x, x) == pytest.approx(1.0)
+
+    def test_linear_map_is_one(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(40, 3))
+        assert distance_correlation(x, 2.5 * x + 1.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_independent_data_near_zero(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(200, 4))
+        y = rng.normal(size=(200, 4))
+        # the biased dCor estimator has noticeable finite-sample floor
+        assert distance_correlation(x, y) < 0.35
+
+    def test_nonlinear_dependence_detected(self):
+        """dCor (unlike Pearson) catches y = x^2."""
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=(300, 1))
+        y = x**2
+        assert distance_correlation(x, y) > 0.4
+
+    def test_flattens_trailing_dims(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(20, 2, 3))
+        assert distance_correlation(x, x.reshape(20, 6)) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            distance_correlation(np.zeros((3, 2)), np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            distance_correlation(np.zeros((1, 2)), np.zeros((1, 2)))
+
+    def test_constant_input_is_zero(self):
+        x = np.ones((10, 3))
+        y = np.random.default_rng(0).normal(size=(10, 3))
+        assert distance_correlation(x, y) == 0.0
+
+
+class TestReconstructionAttack:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(0)
+        scenario = fast_scenario(with_wireless=False)
+        model = scenario.make_model()
+        shadow = rng.random((60, 3, 16, 16))
+        test = rng.random((12, 3, 16, 16))
+        return model, shadow, test
+
+    def test_report_fields(self, setup):
+        model, shadow, test = setup
+        sm = split_model(model, 1)
+        report = reconstruction_attack(
+            sm.client, shadow, test, cut_layer=1, steps=50
+        )
+        assert isinstance(report, PrivacyReport)
+        assert report.attack_mse > 0
+        assert report.baseline_mse > 0
+        assert 0.0 <= report.leakage <= 1.0
+        assert 0.0 <= report.distance_corr <= 1.0
+
+    def test_identity_client_leaks_fully(self):
+        """If the 'client half' is the identity, a linear decoder inverts
+        it (near-)perfectly — the attack's sanity anchor."""
+        from repro import nn
+
+        rng = np.random.default_rng(1)
+        model = nn.Sequential(nn.Flatten(), nn.Linear(48, 10, seed=0))
+        sm = split_model(model, 1)  # client = Flatten only
+        shadow = rng.random((300, 3, 4, 4))
+        test = rng.random((30, 3, 4, 4))
+        report = reconstruction_attack(
+            sm.client, shadow, test, hidden=0, steps=800, lr=3e-3
+        )
+        assert report.leakage > 0.8
+        assert report.distance_corr == pytest.approx(1.0, abs=1e-6)
+
+    def test_input_validation(self, setup):
+        model, shadow, test = setup
+        sm = split_model(model, 1)
+        with pytest.raises(ValueError):
+            reconstruction_attack(sm.client, shadow[:2], test, steps=5)
+
+    def test_sweep_covers_requested_cuts(self, setup):
+        model, shadow, test = setup
+        reports = sweep_cut_privacy(model, shadow[:30], test[:6], cuts=[1, 3], steps=20)
+        assert [r.cut_layer for r in reports] == [1, 3]
+
+    def test_dcor_decreases_with_depth_on_real_data(self):
+        """The model-free leakage proxy shrinks as layers compress."""
+        from repro.data.gtsrb import GtsrbConfig, SyntheticGTSRB
+
+        cfg = GtsrbConfig(
+            num_classes=5, image_size=16, train_per_class=10, test_per_class=6, seed=0
+        )
+        train, test = SyntheticGTSRB(cfg).train_test()
+        scenario = fast_scenario(with_wireless=False)
+        model = scenario.make_model()
+        dcors = []
+        for cut in (1, 3, 6):
+            sm = split_model(model, cut)
+            from repro.analysis.privacy import _smash
+
+            smashed = _smash(sm.client, test.images)
+            dcors.append(distance_correlation(test.images, smashed))
+        assert dcors[0] > dcors[-1]

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data.dataset import ArrayDataset
+from repro.experiments.scenario import fast_scenario
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_classification(rng) -> tuple[np.ndarray, np.ndarray]:
+    """Linearly separable-ish 3-class problem on 10 features."""
+    x = rng.normal(size=(96, 10))
+    y = (x[:, 0] > 0).astype(int) + (x[:, 1] > 0).astype(int)
+    return x, y
+
+
+@pytest.fixture
+def small_cnn() -> nn.Sequential:
+    return nn.Sequential(
+        nn.Conv2d(2, 3, 3, padding=1, seed=1),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(3 * 4 * 4, 5, seed=2),
+    )
+
+
+@pytest.fixture
+def image_batch(rng) -> tuple[np.ndarray, np.ndarray]:
+    return rng.normal(size=(4, 2, 8, 8)), rng.integers(0, 5, size=4)
+
+
+@pytest.fixture
+def small_dataset(rng) -> ArrayDataset:
+    images = rng.normal(size=(40, 2, 8, 8))
+    labels = rng.integers(0, 5, size=40)
+    return ArrayDataset(images, labels)
+
+
+@pytest.fixture(scope="session")
+def built_fast_scenario():
+    """A built fast scenario shared across integration tests (read-only)."""
+    return fast_scenario(with_wireless=True).build()
+
+
+def numeric_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``f`` wrt array ``x`` (in place)."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return grad

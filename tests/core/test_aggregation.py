@@ -1,0 +1,124 @@
+"""FedAvg aggregation tests: exactness, weighting, linearity, errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.core.aggregation import fedavg, uniform_average, weighted_delta
+from repro.nn.serialize import pack_state
+
+
+def make_states(num, seed=0, shape=(3, 2)):
+    rng = np.random.default_rng(seed)
+    return [
+        {"w": rng.normal(size=shape), "b": rng.normal(size=shape[1])} for _ in range(num)
+    ]
+
+
+class TestFedAvg:
+    def test_single_state_identity(self):
+        (state,) = make_states(1)
+        avg = fedavg([state])
+        np.testing.assert_allclose(avg["w"], state["w"])
+
+    def test_uniform_average_exact(self):
+        states = make_states(3)
+        avg = uniform_average(states)
+        np.testing.assert_allclose(
+            avg["w"], (states[0]["w"] + states[1]["w"] + states[2]["w"]) / 3
+        )
+
+    def test_weighted_average_exact(self):
+        states = make_states(2)
+        avg = fedavg(states, weights=[3.0, 1.0])
+        np.testing.assert_allclose(avg["w"], 0.75 * states[0]["w"] + 0.25 * states[1]["w"])
+
+    def test_weights_normalized(self):
+        states = make_states(2)
+        a = fedavg(states, weights=[3.0, 1.0])
+        b = fedavg(states, weights=[300.0, 100.0])
+        np.testing.assert_allclose(a["w"], b["w"])
+
+    def test_identical_states_fixed_point(self):
+        state = make_states(1)[0]
+        avg = fedavg([state, state, state], weights=[1, 5, 2])
+        np.testing.assert_allclose(avg["w"], state["w"])
+
+    def test_linearity_via_pack(self):
+        """fedavg commutes with flattening: pack(avg) == avg(pack)."""
+        states = make_states(4, seed=7)
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        avg = fedavg(states, weights)
+        packed = np.stack([pack_state(s) for s in states])
+        expected = (weights / weights.sum()) @ packed
+        np.testing.assert_allclose(pack_state(avg), expected)
+
+    def test_key_mismatch_raises(self):
+        a, b = make_states(2)
+        b["extra"] = np.zeros(1)
+        with pytest.raises(ValueError):
+            fedavg([a, b])
+
+    def test_shape_mismatch_raises(self):
+        a, b = make_states(2)
+        b["w"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            fedavg([a, b])
+
+    def test_weight_validation(self):
+        states = make_states(2)
+        with pytest.raises(ValueError):
+            fedavg(states, weights=[1.0])
+        with pytest.raises(ValueError):
+            fedavg(states, weights=[-1.0, 2.0])
+        with pytest.raises(ValueError):
+            fedavg(states, weights=[0.0, 0.0])
+        with pytest.raises(ValueError):
+            fedavg([])
+
+    def test_aggregating_model_states_preserves_forward(self):
+        """FedAvg of identical model states reproduces the model exactly."""
+        model = nn.Sequential(nn.Linear(4, 3, seed=0), nn.ReLU(), nn.Linear(3, 2, seed=1))
+        state = model.state_dict()
+        model.load_state_dict(fedavg([state, state], weights=[2.0, 5.0]))
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        from repro.nn.tensor import Tensor
+
+        out1 = model(Tensor(x)).data
+        model.load_state_dict(state)
+        np.testing.assert_allclose(out1, model(Tensor(x)).data)
+
+    @given(st.integers(2, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_average_within_hull(self, num):
+        """Every averaged entry lies inside the participants' min/max hull."""
+        states = make_states(num, seed=num)
+        avg = fedavg(states)
+        stack_w = np.stack([s["w"] for s in states])
+        assert np.all(avg["w"] >= stack_w.min(axis=0) - 1e-12)
+        assert np.all(avg["w"] <= stack_w.max(axis=0) + 1e-12)
+
+
+class TestWeightedDelta:
+    def test_server_lr_one_equals_fedavg(self):
+        states = make_states(3, seed=2)
+        base = make_states(1, seed=9)[0]
+        np.testing.assert_allclose(
+            weighted_delta(base, states, server_lr=1.0)["w"], fedavg(states)["w"]
+        )
+
+    def test_server_lr_zero_keeps_base(self):
+        states = make_states(3, seed=2)
+        base = make_states(1, seed=9)[0]
+        np.testing.assert_allclose(weighted_delta(base, states, server_lr=0.0)["w"], base["w"])
+
+    def test_interpolates(self):
+        states = make_states(2, seed=4)
+        base = make_states(1, seed=5)[0]
+        half = weighted_delta(base, states, server_lr=0.5)
+        full = fedavg(states)
+        np.testing.assert_allclose(half["w"], 0.5 * base["w"] + 0.5 * full["w"])

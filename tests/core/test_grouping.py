@@ -1,0 +1,125 @@
+"""Grouping strategy tests: partition exactness, balance, cost balancing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import (
+    channel_aware_groups,
+    compute_balanced_groups,
+    contiguous_groups,
+    make_groups,
+    random_groups,
+    validate_groups,
+)
+
+
+class TestContiguous:
+    def test_exact_partition_and_order(self):
+        groups = contiguous_groups(10, 3)
+        validate_groups(groups, 10)
+        assert groups[0] == [0, 1, 2, 3]
+
+    def test_divisible(self):
+        groups = contiguous_groups(30, 6)
+        assert all(len(g) == 5 for g in groups)
+
+    def test_sizes_within_one(self):
+        groups = contiguous_groups(11, 3)
+        sizes = [len(g) for g in groups]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestRandom:
+    def test_exact_partition(self):
+        groups = random_groups(20, 4, seed=0)
+        validate_groups(groups, 20)
+
+    def test_deterministic_per_seed(self):
+        assert random_groups(20, 4, seed=1) == random_groups(20, 4, seed=1)
+
+    def test_differs_across_seeds(self):
+        assert random_groups(20, 4, seed=1) != random_groups(20, 4, seed=2)
+
+
+class TestCostBalanced:
+    def test_compute_balance_beats_contiguous_on_skewed_fleet(self):
+        rng = np.random.default_rng(0)
+        flops = rng.lognormal(mean=21, sigma=1.0, size=24)
+        balanced = compute_balanced_groups(flops, 4)
+        naive = contiguous_groups(24, 4)
+
+        def spread(groups):
+            totals = [sum(1.0 / flops[c] for c in g) for g in groups]
+            return max(totals) - min(totals)
+
+        assert spread(balanced) <= spread(naive)
+
+    def test_group_sizes_stay_balanced(self):
+        flops = np.array([1e9] * 9 + [1e6])  # one very slow device
+        groups = compute_balanced_groups(flops, 5)
+        validate_groups(groups, 10)
+        assert all(len(g) == 2 for g in groups)
+
+    def test_channel_aware_splits_slow_links(self):
+        airtime = np.array([1.0, 1.0, 10.0, 10.0])
+        groups = channel_aware_groups(airtime, 2)
+        validate_groups(groups, 4)
+        # the two expensive clients must not share a group
+        for g in groups:
+            assert sum(airtime[c] for c in g) == pytest.approx(11.0)
+
+    def test_positive_cost_validation(self):
+        with pytest.raises(ValueError):
+            compute_balanced_groups(np.array([1.0, 0.0]), 2)
+        with pytest.raises(ValueError):
+            channel_aware_groups(np.array([1.0, -1.0]), 2)
+
+
+class TestDispatchAndValidation:
+    def test_make_groups_dispatch(self):
+        assert make_groups("contiguous", 6, 2) == [[0, 1, 2], [3, 4, 5]]
+        validate_groups(make_groups("random", 6, 2, seed=0), 6)
+        validate_groups(
+            make_groups("compute_balanced", 6, 2, client_flops=np.ones(6)), 6
+        )
+        validate_groups(
+            make_groups("channel_aware", 6, 2, per_bit_airtime=np.ones(6)), 6
+        )
+
+    def test_missing_costs_raise(self):
+        with pytest.raises(ValueError, match="client_flops"):
+            make_groups("compute_balanced", 6, 2)
+        with pytest.raises(ValueError, match="airtime"):
+            make_groups("channel_aware", 6, 2)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown"):
+            make_groups("astrology", 6, 2)
+
+    def test_group_count_validation(self):
+        with pytest.raises(ValueError):
+            contiguous_groups(3, 5)
+        with pytest.raises(ValueError):
+            contiguous_groups(3, 0)
+
+    def test_validate_groups_rejects_bad_partitions(self):
+        with pytest.raises(ValueError):
+            validate_groups([[0, 1], [1, 2]], 3)  # duplicate
+        with pytest.raises(ValueError):
+            validate_groups([[0], []], 1)  # empty group
+        with pytest.raises(ValueError):
+            validate_groups([[0, 1]], 3)  # missing client
+
+    @given(st.integers(2, 40), st.integers(1, 8), st.sampled_from(["contiguous", "random"]))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_property(self, n, m, strategy):
+        if m > n:
+            return
+        groups = make_groups(strategy, n, m, seed=n * m)
+        validate_groups(groups, n)
+        sizes = [len(g) for g in groups]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,103 @@
+"""Dataset containers and loader tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset, DataLoader, Subset
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self):
+        ds = ArrayDataset(np.zeros((5, 2)), np.arange(5))
+        assert len(ds) == 5
+        x, y = ds[3]
+        assert y == 3 and x.shape == (2,)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 2)), np.arange(4))
+
+    def test_arrays_roundtrip(self):
+        images = np.random.default_rng(0).normal(size=(6, 3))
+        labels = np.arange(6)
+        x, y = ArrayDataset(images, labels).arrays()
+        np.testing.assert_allclose(x, images)
+        np.testing.assert_array_equal(y, labels)
+
+    def test_class_counts(self):
+        ds = ArrayDataset(np.zeros((6, 1)), np.array([0, 0, 1, 2, 2, 2]))
+        np.testing.assert_array_equal(ds.class_counts(4), [2, 1, 3, 0])
+
+
+class TestSubset:
+    def test_view_semantics(self):
+        base = ArrayDataset(np.arange(10).reshape(10, 1).astype(float), np.arange(10))
+        sub = Subset(base, [2, 5, 7])
+        assert len(sub) == 3
+        assert sub[1][1] == 5
+
+    def test_out_of_range_indices(self):
+        base = ArrayDataset(np.zeros((3, 1)), np.zeros(3, dtype=int))
+        with pytest.raises(IndexError):
+            Subset(base, [0, 5])
+
+    def test_arrays_on_subset(self):
+        base = ArrayDataset(np.arange(8).reshape(8, 1).astype(float), np.arange(8))
+        x, y = Subset(base, [1, 3]).arrays()
+        np.testing.assert_array_equal(y, [1, 3])
+
+
+class TestDataLoader:
+    def _ds(self, n=10):
+        return ArrayDataset(np.arange(n).reshape(n, 1).astype(float), np.arange(n))
+
+    def test_batch_shapes_and_count(self):
+        loader = DataLoader(self._ds(10), batch_size=3)
+        batches = list(loader)
+        assert len(batches) == 4
+        assert batches[0][0].shape == (3, 1)
+        assert batches[-1][0].shape == (1, 1)
+
+    def test_drop_last(self):
+        loader = DataLoader(self._ds(10), batch_size=3, drop_last=True)
+        assert len(list(loader)) == 3
+        assert len(loader) == 3
+
+    def test_no_shuffle_preserves_order(self):
+        loader = DataLoader(self._ds(6), batch_size=2)
+        ys = np.concatenate([y for _, y in loader])
+        np.testing.assert_array_equal(ys, np.arange(6))
+
+    def test_shuffle_covers_everything(self):
+        loader = DataLoader(self._ds(10), batch_size=3, shuffle=True, seed=0)
+        ys = np.concatenate([y for _, y in loader])
+        assert sorted(ys.tolist()) == list(range(10))
+
+    def test_seeded_loaders_replay_identically(self):
+        a = DataLoader(self._ds(10), batch_size=4, shuffle=True, seed=42)
+        b = DataLoader(self._ds(10), batch_size=4, shuffle=True, seed=42)
+        for (_, ya), (_, yb) in zip(a, b):
+            np.testing.assert_array_equal(ya, yb)
+
+    def test_reshuffles_between_epochs(self):
+        loader = DataLoader(self._ds(20), batch_size=20, shuffle=True, seed=1)
+        first = next(iter(loader))[1]
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+    def test_sample_batch(self):
+        loader = DataLoader(self._ds(10), batch_size=4, seed=0)
+        x, y = loader.sample_batch()
+        assert x.shape == (4, 1)
+        assert len(set(y.tolist())) == 4  # without replacement
+
+    def test_sample_batch_smaller_dataset(self):
+        loader = DataLoader(self._ds(2), batch_size=5, seed=0)
+        x, _ = loader.sample_batch()
+        assert x.shape == (2, 1)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._ds(4), batch_size=0)

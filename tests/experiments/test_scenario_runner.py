@@ -1,0 +1,99 @@
+"""Scenario construction and runner tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import SCHEME_REGISTRY, make_scheme, run_schemes
+from repro.experiments.scenario import (
+    ExperimentScenario,
+    fast_scenario,
+    paper_scenario,
+)
+from repro.models.registry import default_cut_layer
+
+
+class TestScenario:
+    def test_fast_scenario_builds(self, built_fast_scenario):
+        built = built_fast_scenario
+        assert len(built.client_datasets) == 6
+        assert built.system is not None
+        assert built.profile is not None
+        assert built.input_shape == (3, 16, 16)
+
+    def test_paper_scenario_shape(self):
+        sc = paper_scenario(with_wireless=False)
+        assert sc.num_clients == 30
+        assert sc.num_groups == 6
+        assert sc.dataset.num_classes == 43
+        assert sc.model_name == "deepthin"
+
+    def test_wireless_client_count_follows_scenario(self):
+        sc = fast_scenario(num_clients=9, num_groups=3)
+        assert sc.wireless.num_clients == 9
+
+    def test_no_wireless_build(self):
+        built = fast_scenario(with_wireless=False).build()
+        assert built.system is None and built.profile is None
+
+    def test_resolved_cut_layer_default(self):
+        sc = fast_scenario()
+        sc.cut_layer = None
+        assert sc.resolved_cut_layer() == default_cut_layer("micro_cnn")
+        sc.cut_layer = 2
+        assert sc.resolved_cut_layer() == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScenario(num_clients=4, num_groups=8)
+        with pytest.raises(ValueError):
+            ExperimentScenario(partition="sorted")
+
+    def test_dirichlet_partition_mode(self):
+        sc = fast_scenario(with_wireless=False)
+        sc.partition = "dirichlet"
+        sc.dirichlet_alpha = 0.3
+        built = sc.build()
+        assert sum(len(d) for d in built.client_datasets) == len(
+            built.client_datasets[0].dataset
+        )
+
+    def test_make_model_deterministic(self):
+        sc = fast_scenario()
+        a, b = sc.make_model(), sc.make_model()
+        sa, sb = a.state_dict(), b.state_dict()
+        for k in sa:
+            np.testing.assert_allclose(sa[k], sb[k])
+
+    def test_mlp_scenario_builds(self):
+        sc = fast_scenario(with_wireless=True)
+        sc.model_name = "mlp"
+        sc.cut_layer = 3
+        built = sc.build()
+        scheme = make_scheme("GSFL", built)
+        history = scheme.run(1)
+        assert len(history) == 1
+
+
+class TestRunner:
+    def test_registry_contents(self):
+        assert set(SCHEME_REGISTRY) == {"CL", "FL", "SL", "SplitFed", "PSL", "GSFL"}
+
+    def test_unknown_scheme(self, built_fast_scenario):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            make_scheme("DiLoCo", built_fast_scenario)
+
+    def test_run_schemes_returns_all(self, built_fast_scenario):
+        histories = run_schemes(built_fast_scenario, ["SL", "GSFL"], num_rounds=1)
+        assert set(histories) == {"SL", "GSFL"}
+        assert all(len(h) == 1 for h in histories.values())
+
+    def test_per_scheme_overrides(self, built_fast_scenario):
+        histories = run_schemes(
+            built_fast_scenario,
+            ["GSFL"],
+            num_rounds=1,
+            GSFL={"num_groups": 3},
+        )
+        assert len(histories["GSFL"]) == 1

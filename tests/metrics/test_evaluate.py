@@ -1,0 +1,80 @@
+"""Evaluation helper tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data.dataset import ArrayDataset
+from repro.metrics.evaluate import evaluate_model, evaluate_split, predict_labels
+from repro.nn.split import split_model
+
+
+@pytest.fixture
+def trained_model(small_dataset):
+    model = nn.Sequential(
+        nn.Conv2d(2, 3, 3, padding=1, seed=1),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(3 * 4 * 4, 5, seed=2),
+    )
+    return model
+
+
+class TestEvaluateModel:
+    def test_returns_loss_and_accuracy(self, trained_model, small_dataset):
+        loss, acc = evaluate_model(trained_model, small_dataset, batch_size=16)
+        assert loss > 0
+        assert 0.0 <= acc <= 1.0
+
+    def test_restores_training_mode(self, trained_model, small_dataset):
+        trained_model.train()
+        evaluate_model(trained_model, small_dataset)
+        assert trained_model.training
+        trained_model.eval()
+        evaluate_model(trained_model, small_dataset)
+        assert not trained_model.training
+
+    def test_batching_does_not_change_result(self, trained_model, small_dataset):
+        l1, a1 = evaluate_model(trained_model, small_dataset, batch_size=7)
+        l2, a2 = evaluate_model(trained_model, small_dataset, batch_size=40)
+        assert l1 == pytest.approx(l2)
+        assert a1 == pytest.approx(a2)
+
+    def test_empty_dataset_raises(self, trained_model):
+        empty = ArrayDataset(np.zeros((0, 2, 8, 8)), np.zeros(0, dtype=int))
+        with pytest.raises(ValueError):
+            evaluate_model(trained_model, empty)
+
+    def test_perfect_model_scores_one(self):
+        """A hand-built argmax-friendly model scores 100%."""
+        images = np.zeros((4, 3))
+        images[np.arange(4), np.arange(4) % 3] = 10.0
+        labels = np.arange(4) % 3
+        ds = ArrayDataset(images, labels)
+        model = nn.Sequential(nn.Linear(3, 3, bias=False, seed=0))
+        model[0].weight.data = np.eye(3)
+        _, acc = evaluate_model(model, ds)
+        assert acc == 1.0
+
+
+class TestEvaluateSplit:
+    def test_matches_uncut_evaluation(self, trained_model, small_dataset):
+        loss_full, acc_full = evaluate_model(trained_model, small_dataset)
+        sm = split_model(trained_model, 2)
+        loss_split, acc_split = evaluate_split(sm, small_dataset)
+        assert loss_split == pytest.approx(loss_full)
+        assert acc_split == pytest.approx(acc_full)
+
+
+class TestPredictLabels:
+    def test_shapes_and_range(self, trained_model, small_dataset):
+        preds = predict_labels(trained_model, small_dataset.images)
+        assert preds.shape == (len(small_dataset),)
+        assert preds.min() >= 0 and preds.max() < 5
+
+    def test_empty_input(self, trained_model):
+        preds = predict_labels(trained_model, np.zeros((0, 2, 8, 8)))
+        assert preds.shape == (0,)

@@ -1,0 +1,167 @@
+"""Extended layer zoo and checkpoint/grad-clip utility tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from tests.conftest import numeric_gradient
+
+
+class TestLeakyRelu:
+    def test_values(self):
+        layer = nn.LeakyReLU(0.1)
+        out = layer(Tensor(np.array([-2.0, 3.0])))
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+
+    def test_gradient(self):
+        layer = nn.LeakyReLU(0.1)
+        x_data = np.array([[-1.5, 0.5], [2.0, -0.1]])
+        x = Tensor(x_data.copy(), requires_grad=True)
+        layer(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.1, 1.0], [1.0, 0.1]])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.LeakyReLU(-0.5)
+
+
+class TestGelu:
+    def test_known_values(self):
+        layer = nn.GELU()
+        out = layer(Tensor(np.array([0.0, 100.0, -100.0])))
+        np.testing.assert_allclose(out.data, [0.0, 100.0, 0.0], atol=1e-6)
+
+    def test_gradient_matches_numeric(self):
+        layer = nn.GELU()
+        x_data = np.random.default_rng(0).normal(size=(6,))
+        x = Tensor(x_data.copy(), requires_grad=True)
+        layer(x).sum().backward()
+        d = x_data.copy()
+
+        def f():
+            return float(layer(Tensor(d)).sum().item())
+
+        np.testing.assert_allclose(x.grad, numeric_gradient(f, d), atol=1e-5)
+
+
+class TestSoftmaxLayer:
+    def test_rows_sum_to_one(self):
+        layer = nn.Softmax()
+        out = layer(Tensor(np.random.default_rng(0).normal(size=(5, 7))))
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(5), atol=1e-12)
+
+
+class TestLayerNorm:
+    def test_normalizes_features(self):
+        ln = nn.LayerNorm(8)
+        x = np.random.default_rng(0).normal(loc=4, scale=3, size=(10, 8))
+        out = ln(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=1), np.zeros(10), atol=1e-10)
+
+    def test_no_buffers(self):
+        """LayerNorm must carry no running state (split-relay friendly)."""
+        ln = nn.LayerNorm(4)
+        assert list(ln.named_buffers()) == []
+
+    def test_gradients_flow(self):
+        ln = nn.LayerNorm(4)
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4)), requires_grad=True)
+        (ln(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert ln.gamma.grad is not None
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            nn.LayerNorm(4)(Tensor(np.zeros((2, 5))))
+        with pytest.raises(ValueError):
+            nn.LayerNorm(0)
+
+
+class TestGlobalAvgPool:
+    def test_values(self):
+        pool = nn.GlobalAvgPool2d()
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        assert pool(Tensor(x)).data[0, 0] == pytest.approx(7.5)
+
+    def test_shape_inference(self):
+        pool = nn.GlobalAvgPool2d()
+        assert pool.output_shape((8, 5, 5)) == (8,)
+
+    def test_requires_nchw(self):
+        with pytest.raises(ValueError):
+            nn.GlobalAvgPool2d()(Tensor(np.zeros((3, 4))))
+
+    def test_profiles_in_sequential(self):
+        model = nn.Sequential(
+            nn.Conv2d(3, 4, 3, padding=1, seed=0),
+            nn.GELU(),
+            nn.GlobalAvgPool2d(),
+            nn.Linear(4, 2, seed=1),
+        )
+        prof = nn.profile_model(model, (3, 8, 8))
+        assert prof.layers[-1].output_shape == (2,)
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path, small_cnn):
+        path = str(tmp_path / "model.npz")
+        nn.save_checkpoint(small_cnn, path)
+        clone = nn.Sequential(
+            nn.Conv2d(2, 3, 3, padding=1, seed=99),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Flatten(),
+            nn.Linear(3 * 4 * 4, 5, seed=98),
+        )
+        nn.load_checkpoint(clone, path)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 2, 8, 8)))
+        np.testing.assert_allclose(clone(x).data, small_cnn(x).data)
+
+    def test_rejects_foreign_npz(self, tmp_path, small_cnn):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, a=np.ones(3))
+        with pytest.raises(ValueError, match="checkpoint"):
+            nn.load_checkpoint(small_cnn, path)
+
+    def test_shape_mismatch_raises(self, tmp_path, small_cnn):
+        path = str(tmp_path / "model.npz")
+        nn.save_checkpoint(small_cnn, path)
+        other = nn.Sequential(nn.Linear(4, 2, seed=0))
+        with pytest.raises((KeyError, ValueError)):
+            nn.load_checkpoint(other, path)
+
+
+class TestGradClip:
+    def _params_with_grads(self):
+        a = nn.Parameter(np.zeros(3))
+        b = nn.Parameter(np.zeros(4))
+        a.grad = np.full(3, 3.0)
+        b.grad = np.full(4, 4.0)
+        return a, b
+
+    def test_norm_computation(self):
+        a, b = self._params_with_grads()
+        expected = np.sqrt(9 * 3 + 16 * 4)
+        assert nn.grad_norm([a, b]) == pytest.approx(expected)
+
+    def test_clip_scales_down(self):
+        a, b = self._params_with_grads()
+        pre = nn.clip_grad_norm([a, b], max_norm=1.0)
+        assert pre == pytest.approx(np.sqrt(91))
+        assert nn.grad_norm([a, b]) == pytest.approx(1.0, rel=1e-6)
+
+    def test_no_clip_below_threshold(self):
+        a, b = self._params_with_grads()
+        nn.clip_grad_norm([a, b], max_norm=100.0)
+        np.testing.assert_allclose(a.grad, np.full(3, 3.0))
+
+    def test_ignores_gradless(self):
+        p = nn.Parameter(np.zeros(2))
+        assert nn.clip_grad_norm([p], 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.clip_grad_norm([], 0.0)

@@ -1,0 +1,116 @@
+"""Stage/track/replay machinery tests: the DES replay must agree with the
+analytic stage algebra, and trace events must tile the timeline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schemes.base import Activity, Stage, replay_stages
+from repro.sim.trace import TraceRecorder
+
+
+def act(d, phase="client_compute", actor="a"):
+    return Activity(d, phase, actor)
+
+
+class TestStageAlgebra:
+    def test_stage_duration_is_max_of_track_sums(self):
+        stage = Stage("s")
+        stage.extend("t1", [act(1.0), act(2.0)])
+        stage.extend("t2", [act(2.5)])
+        assert stage.duration_s == pytest.approx(3.0)
+
+    def test_empty_stage_zero(self):
+        assert Stage("s").duration_s == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Activity(-0.1, "wait", "a")
+
+
+class TestReplay:
+    def test_single_track_sums(self):
+        rec = TraceRecorder()
+        stage = Stage("s")
+        stage.extend("t", [act(1.0), act(2.0), act(0.5)])
+        total = replay_stages([stage], rec, round_index=0, start_time_s=0.0)
+        assert total == pytest.approx(3.5)
+        assert len(rec) == 3
+
+    def test_parallel_tracks_overlap(self):
+        stage = Stage("s")
+        stage.extend("t1", [act(5.0)])
+        stage.extend("t2", [act(3.0)])
+        total = replay_stages([stage], None, 0, 0.0)
+        assert total == pytest.approx(5.0)
+
+    def test_stages_are_barriers(self):
+        s1 = Stage("train")
+        s1.extend("t1", [act(5.0)])
+        s1.extend("t2", [act(1.0)])
+        s2 = Stage("agg")
+        s2.extend("server", [act(2.0, phase="aggregation", actor="edge-server")])
+        rec = TraceRecorder()
+        total = replay_stages([s1, s2], rec, 0, 0.0)
+        assert total == pytest.approx(7.0)
+        agg = rec.filter(phases=["aggregation"])[0]
+        assert agg.start == pytest.approx(5.0)  # waits for slow track
+
+    def test_start_offset_shifts_trace(self):
+        stage = Stage("s")
+        stage.extend("t", [act(2.0)])
+        rec = TraceRecorder()
+        replay_stages([stage], rec, round_index=3, start_time_s=100.0)
+        event = rec.events[0]
+        assert event.start == pytest.approx(100.0)
+        assert event.end == pytest.approx(102.0)
+        assert event.round_index == 3
+
+    def test_track_events_are_contiguous(self):
+        stage = Stage("s")
+        stage.extend("t", [act(1.0), act(2.0), act(3.0)])
+        rec = TraceRecorder()
+        replay_stages([stage], rec, 0, 0.0)
+        events = sorted(rec.events, key=lambda e: e.start)
+        for prev, nxt in zip(events, events[1:]):
+            assert nxt.start == pytest.approx(prev.end)
+
+    def test_zero_duration_activities_allowed(self):
+        stage = Stage("s")
+        stage.extend("t", [act(0.0), act(0.0)])
+        assert replay_stages([stage], None, 0, 0.0) == pytest.approx(0.0)
+
+    @given(
+        st.lists(
+            st.lists(st.floats(0.0, 10.0), min_size=1, max_size=4),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_replay_equals_analytic_for_any_stage(self, track_durations):
+        """Property: DES replay == max-of-sums for arbitrary stages."""
+        stage = Stage("s")
+        for i, durations in enumerate(track_durations):
+            stage.extend(f"t{i}", [act(d) for d in durations])
+        expected = max(sum(ds) for ds in track_durations)
+        assert replay_stages([stage], None, 0, 0.0) == pytest.approx(expected)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 5.0), st.floats(0.0, 5.0)), min_size=1, max_size=5
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_multi_stage_sum_property(self, pairs):
+        """Rounds of two-track stages: total = sum of per-stage maxima."""
+        stages = []
+        for i, (a, b) in enumerate(pairs):
+            stage = Stage(f"s{i}")
+            stage.extend("t1", [act(a)])
+            stage.extend("t2", [act(b)])
+            stages.append(stage)
+        expected = sum(max(a, b) for a, b in pairs)
+        assert replay_stages(stages, None, 0, 0.0) == pytest.approx(expected)

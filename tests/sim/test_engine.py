@@ -1,0 +1,180 @@
+"""Discrete-event kernel tests: clock, ordering, processes, conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+class TestEventPrimitives:
+    def test_succeed_fires_callbacks_once(self):
+        env = Environment()
+        ev = env.event()
+        hits = []
+        ev.add_callback(lambda e: hits.append(e.value))
+        ev.succeed("x")
+        assert hits == ["x"]
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_callback_after_trigger_runs_immediately(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(7)
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == [7]
+
+    def test_timeout_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+
+class TestEnvironment:
+    def test_clock_advances_in_event_order(self):
+        env = Environment()
+        order = []
+
+        def p(name, delay):
+            yield env.timeout(delay)
+            order.append((name, env.now))
+
+        env.process(p("late", 5.0))
+        env.process(p("early", 1.0))
+        env.run()
+        assert order == [("early", 1.0), ("late", 5.0)]
+
+    def test_simultaneous_events_fire_in_insertion_order(self):
+        env = Environment()
+        order = []
+
+        def p(name):
+            yield env.timeout(1.0)
+            order.append(name)
+
+        for name in "abc":
+            env.process(p(name))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_deadline(self):
+        env = Environment()
+        fired = []
+
+        def p():
+            yield env.timeout(10.0)
+            fired.append(True)
+
+        env.process(p())
+        env.run(until=5.0)
+        assert env.now == 5.0 and not fired
+        env.run()
+        assert fired
+
+    def test_run_until_event(self):
+        env = Environment()
+
+        def fast():
+            yield env.timeout(1.0)
+            return "done"
+
+        def slow():
+            yield env.timeout(100.0)
+
+        fast_proc = env.process(fast())
+        env.process(slow())
+        env.run(until=fast_proc)
+        assert env.now == 1.0
+        assert fast_proc.value == "done"
+
+    def test_run_until_never_fired_event_raises(self):
+        env = Environment()
+        orphan = env.event()
+        with pytest.raises(RuntimeError, match="drained"):
+            env.run(until=orphan)
+
+    def test_cannot_schedule_in_past(self):
+        env = Environment()
+
+        def p():
+            yield env.timeout(5.0)
+
+        env.process(p())
+        env.run()
+        with pytest.raises(RuntimeError):
+            env._schedule(1.0, env.event(), None)
+
+    def test_process_return_value_propagates(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(2.0)
+            return 42
+
+        def parent():
+            result = yield env.process(child())
+            return result + 1
+
+        proc = env.process(parent())
+        env.run()
+        assert proc.value == 43
+
+    def test_process_must_yield_events(self):
+        env = Environment()
+
+        def bad():
+            yield "not an event"
+
+        env.process(bad())
+        with pytest.raises(TypeError, match="yield"):
+            env.run()
+
+    def test_nested_fork_join(self):
+        env = Environment()
+
+        def worker(d):
+            yield env.timeout(d)
+            return d
+
+        def parent():
+            procs = [env.process(worker(d)) for d in (3.0, 1.0, 2.0)]
+            results = yield env.all_of(procs)
+            return results
+
+        proc = env.process(parent())
+        env.run()
+        assert proc.value == [3.0, 1.0, 2.0]
+        assert env.now == 3.0
+
+
+class TestConditions:
+    def test_all_of_waits_for_slowest(self):
+        env = Environment()
+        barrier = env.all_of([env.timeout(1.0, "a"), env.timeout(4.0, "b")])
+        env.run(until=barrier)
+        assert env.now == 4.0
+        assert barrier.value == ["a", "b"]
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+        race = env.any_of([env.timeout(3.0, "slow"), env.timeout(1.0, "fast")])
+        env.run(until=race)
+        assert env.now == 1.0
+        assert race.value == (1, "fast")
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+        barrier = env.all_of([])
+        env.run(until=barrier)
+        assert env.now == 0.0
+
+    def test_all_of_with_pretriggered_events(self):
+        env = Environment()
+        done = env.event()
+        done.succeed("pre")
+        barrier = env.all_of([done, env.timeout(2.0, "late")])
+        env.run(until=barrier)
+        assert barrier.value == ["pre", "late"]

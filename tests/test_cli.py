@@ -1,0 +1,64 @@
+"""CLI smoke tests (fast scale only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig2a_defaults(self):
+        args = build_parser().parse_args(["fig2a"])
+        assert args.command == "fig2a"
+        assert args.rounds == 20
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "--scheme", "GSFL", "--groups", "3", "--quantize-bits", "8"]
+        )
+        assert args.scheme == "GSFL"
+        assert args.groups == 3
+        assert args.quantize_bits == 8
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "Gossip"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--scale", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "N=6" in out and "micro_cnn" in out
+
+    def test_cuts(self, capsys):
+        assert main(["cuts", "--scale", "fast"]) == 0
+        assert "best" in capsys.readouterr().out
+
+    def test_run_gsfl(self, capsys):
+        code = main(
+            ["run", "--scale", "fast", "--scheme", "GSFL", "--rounds", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GSFL: 2 evals" in out
+
+    def test_run_with_failure_rate(self, capsys):
+        code = main(
+            ["run", "--scale", "fast", "--scheme", "GSFL", "--rounds", "1",
+             "--failure-rate", "0.4"]
+        )
+        assert code == 0
+
+    def test_fig2a_fast(self, capsys):
+        code = main(
+            ["fig2a", "--scale", "fast", "--rounds", "2", "--target", "0.2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GSFL" in out and "FL" in out

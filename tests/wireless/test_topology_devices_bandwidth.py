@@ -1,0 +1,164 @@
+"""Topology, device fleet, bandwidth allocation and system facade tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.wireless.bandwidth import (
+    EqualAllocation,
+    InverseRateAllocation,
+    ProportionalRateAllocation,
+    make_allocator,
+)
+from repro.wireless.channel import ChannelConfig, WirelessChannel
+from repro.wireless.devices import DeviceFleet, DeviceProfile
+from repro.wireless.system import WirelessConfig, WirelessSystem
+from repro.wireless.topology import NetworkTopology, Position
+
+
+class TestTopology:
+    def test_client_count_and_bounds(self):
+        topo = NetworkTopology(50, cell_radius_m=200.0, min_distance_m=20.0, seed=0)
+        d = topo.distances()
+        assert len(d) == 50
+        assert d.min() >= 20.0 - 1e-9
+        assert d.max() <= 200.0 + 1e-9
+
+    def test_deterministic_per_seed(self):
+        a = NetworkTopology(10, seed=5).distances()
+        b = NetworkTopology(10, seed=5).distances()
+        np.testing.assert_allclose(a, b)
+
+    def test_uniform_area_density(self):
+        """With sqrt sampling, ~25% of clients fall within half the radius
+        when min_distance is negligible."""
+        topo = NetworkTopology(4000, cell_radius_m=100.0, min_distance_m=1.0, seed=0)
+        frac_inner = (topo.distances() < 50.0).mean()
+        assert abs(frac_inner - 0.25) < 0.03
+
+    def test_client_to_client_distance_symmetry(self):
+        topo = NetworkTopology(5, seed=1)
+        assert topo.client_distance(1, 3) == pytest.approx(topo.client_distance(3, 1))
+        assert topo.client_distance(2, 2) == 0.0
+
+    def test_position_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkTopology(0)
+        with pytest.raises(ValueError):
+            NetworkTopology(5, cell_radius_m=10.0, min_distance_m=10.0)
+
+
+class TestDevices:
+    def test_compute_time(self):
+        dev = DeviceProfile("d", flops_per_second=1e9)
+        assert dev.compute_time(5e8) == pytest.approx(0.5)
+        assert dev.compute_time(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", flops_per_second=0.0)
+        with pytest.raises(ValueError):
+            DeviceProfile("d", 1e9).compute_time(-1.0)
+
+    def test_homogeneous_fleet(self):
+        fleet = DeviceFleet(8, client_flops=1e9, heterogeneity=0.0, seed=0)
+        flops = fleet.client_flops_array()
+        np.testing.assert_allclose(flops, np.full(8, 1e9))
+
+    def test_heterogeneous_fleet_spreads(self):
+        fleet = DeviceFleet(100, client_flops=1e9, heterogeneity=0.5, seed=0)
+        flops = fleet.client_flops_array()
+        assert flops.std() > 0
+        assert len(np.unique(flops)) == 100
+
+    def test_server_faster_than_clients(self):
+        fleet = DeviceFleet(4, seed=0)
+        assert fleet.server.flops_per_second > max(fleet.client_flops_array())
+
+
+def _test_channel(n=4):
+    return WirelessChannel(
+        np.linspace(20, 120, n),
+        config=ChannelConfig(shadowing_std_db=0.0, rayleigh_fading=False),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestBandwidthAllocation:
+    def test_equal_split_sums_to_total(self):
+        alloc = EqualAllocation(20e6)
+        shares = alloc.shares([0, 1, 2], _test_channel())
+        assert sum(shares.values()) == pytest.approx(20e6)
+        assert len(set(round(v) for v in shares.values())) == 1
+
+    def test_proportional_gives_strong_links_more(self):
+        alloc = ProportionalRateAllocation(20e6)
+        shares = alloc.shares([0, 3], _test_channel())  # client 0 nearest
+        assert shares[0] > shares[3]
+
+    def test_inverse_gives_weak_links_more(self):
+        alloc = InverseRateAllocation(20e6)
+        shares = alloc.shares([0, 3], _test_channel())
+        assert shares[3] > shares[0]
+
+    def test_inverse_equalizes_airtime(self):
+        """Same payload should take (approximately) equal time per link."""
+        ch = _test_channel()
+        alloc = InverseRateAllocation(20e6)
+        shares = alloc.shares([0, 3], ch)
+        # airtime ∝ 1 / (share * spectral_efficiency); using the mean-SNR
+        # efficiency the allocator itself uses:
+        eff = {
+            c: np.log2(1 + 10 ** (ch.expected_snr_db(c, 1e6) / 10)) for c in (0, 3)
+        }
+        t0 = 1.0 / (shares[0] * eff[0])
+        t3 = 1.0 / (shares[3] * eff[3])
+        assert t0 == pytest.approx(t3, rel=0.01)
+
+    def test_empty_active_set(self):
+        assert EqualAllocation(1e6).shares([], _test_channel()) == {}
+
+    def test_factory(self):
+        assert isinstance(make_allocator("equal", 1e6), EqualAllocation)
+        with pytest.raises(ValueError):
+            make_allocator("magic", 1e6)
+
+
+class TestWirelessSystem:
+    def test_build_and_price(self):
+        sys = WirelessSystem(WirelessConfig(num_clients=5, seed=0))
+        t = sys.uplink_seconds(0, nbits=1e6, bandwidth_hz=1e6)
+        assert t > 0 and np.isfinite(t)
+        assert sys.client_compute_seconds(0, 1e9) > sys.server_compute_seconds(1e9)
+
+    def test_deterministic_rates_mode(self):
+        sys = WirelessSystem(WirelessConfig(num_clients=3, deterministic_rates=True, seed=0))
+        a = sys.uplink_seconds(0, 1e6, 1e6)
+        b = sys.uplink_seconds(0, 1e6, 1e6)
+        assert a == pytest.approx(b)
+
+    def test_relay_is_up_plus_down(self):
+        sys = WirelessSystem(WirelessConfig(num_clients=3, deterministic_rates=True, seed=0))
+        up = sys.uplink_seconds(0, 1e6, 1e6)
+        down = sys.downlink_seconds(1, 1e6, 1e6)
+        relay = sys.relay_seconds(0, 1, 1e6, 1e6)
+        assert relay == pytest.approx(up + down)
+
+    def test_share_for(self):
+        sys = WirelessSystem(WirelessConfig(num_clients=3, total_bandwidth_hz=12e6))
+        assert sys.share_for(0, 6) == pytest.approx(2e6)
+
+    def test_link_report_rows(self):
+        sys = WirelessSystem(WirelessConfig(num_clients=4, seed=0))
+        rows = sys.link_report()
+        assert len(rows) == 4
+        assert all(r["mean_uplink_mbps"] > 0 for r in rows)
+
+    def test_same_seed_same_scenario(self):
+        a = WirelessSystem(WirelessConfig(num_clients=6, seed=3))
+        b = WirelessSystem(WirelessConfig(num_clients=6, seed=3))
+        np.testing.assert_allclose(a.topology.distances(), b.topology.distances())
