@@ -1,0 +1,228 @@
+"""Substrate performance tracker: dump op → median seconds as JSON.
+
+Runs the hot-path micro-operations (the same bodies as
+``test_microbench_nn.py``) under the current substrate settings and
+writes ``BENCH_substrate.json``, so the perf trajectory is tracked in-repo
+from PR to PR::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                 # float32
+    PYTHONPATH=src python benchmarks/run_bench.py --dtype float64
+    PYTHONPATH=src python benchmarks/run_bench.py --compare old.json
+
+``--compare`` embeds per-op speedups against a previously dumped file
+(e.g. one generated from the seed commit) into the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+
+import numpy as np
+
+from repro import nn
+from repro.core.aggregation import fedavg
+from repro.models import deepthin_cnn
+from repro.nn.split import split_model
+from repro.nn.tensor import Tensor
+from repro.schemes.base import Activity, Stage, replay_stages
+
+
+def _timeit(fn, *, min_rounds: int = 5, min_time_s: float = 0.5) -> dict:
+    """Median wall-clock seconds of ``fn()`` (warmup excluded)."""
+    fn()  # warmup / JIT caches / BLAS thread spin-up
+    samples: list[float] = []
+    budget_start = time.perf_counter()
+    while len(samples) < min_rounds or time.perf_counter() - budget_start < min_time_s:
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+        if len(samples) >= 200:
+            break
+    return {"median_s": statistics.median(samples), "rounds": len(samples)}
+
+
+def bench_conv_forward() -> "callable":
+    model = deepthin_cnn(num_classes=43, image_size=20, seed=0)
+    model.eval()
+    x = np.random.default_rng(0).normal(size=(16, 3, 20, 20))
+
+    def op():
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            return model(Tensor(x))
+
+    return op
+
+
+def bench_full_training_step() -> "callable":
+    model = deepthin_cnn(num_classes=43, image_size=20, seed=0)
+    opt = nn.SGD(model.parameters(), lr=0.01)
+    loss_fn = nn.CrossEntropyLoss()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(16, 3, 20, 20))
+    y = rng.integers(0, 43, size=16)
+
+    def op():
+        opt.zero_grad()
+        loss = loss_fn(model(Tensor(x)), y)
+        loss.backward()
+        opt.step()
+        return loss
+
+    return op
+
+
+def bench_split_training_step() -> "callable":
+    model = deepthin_cnn(num_classes=43, image_size=20, seed=0)
+    sm = split_model(model, 4)
+    c_opt = nn.SGD(sm.client.parameters(), lr=0.01)
+    s_opt = nn.SGD(sm.server.parameters(), lr=0.01)
+    loss_fn = nn.CrossEntropyLoss()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(16, 3, 20, 20))
+    y = rng.integers(0, 43, size=16)
+
+    def op():
+        smashed = sm.client.forward_to_smashed(x)
+        s_opt.zero_grad()
+        _, grad, _ = sm.server.forward_backward(smashed, y, loss_fn)
+        s_opt.step()
+        c_opt.zero_grad()
+        sm.client.backward_from_gradient(grad)
+        c_opt.step()
+
+    return op
+
+
+def bench_fedavg_aggregation() -> "callable":
+    states = [deepthin_cnn(seed=s).state_dict() for s in range(6)]
+    weights = [1.0, 2.0, 3.0, 1.0, 2.0, 3.0]
+    return lambda: fedavg(states, weights)
+
+
+def bench_fedavg_flat_30() -> "callable":
+    states = [deepthin_cnn(seed=s).state_dict() for s in range(30)]
+    weights = [float(1 + s % 5) for s in range(30)]
+    return lambda: fedavg(states, weights)
+
+
+def bench_des_replay() -> "callable":
+    def op():
+        stage = Stage("training")
+        for g in range(6):
+            stage.extend(
+                f"group-{g}",
+                [
+                    Activity(0.01 * (i % 7 + 1), "client_compute", f"g{g}")
+                    for i in range(100)
+                ],
+            )
+        return replay_stages([stage], None, 0, 0.0)
+
+    return op
+
+
+def _gsfl_round_op(kind: str) -> "callable":
+    from repro.exec import make_executor
+    from repro.experiments.runner import make_scheme
+    from repro.experiments.scenario import fast_scenario
+
+    def op():
+        built = fast_scenario(with_wireless=True, num_clients=6, num_groups=6).build()
+        with make_executor(kind, None if kind == "serial" else 2) as ex:
+            make_scheme("GSFL", built, executor=ex).run(1)
+
+    return op
+
+
+OPS: dict[str, "callable"] = {
+    "conv_forward": bench_conv_forward,
+    "full_training_step": bench_full_training_step,
+    "split_training_step": bench_split_training_step,
+    "fedavg_aggregation": bench_fedavg_aggregation,
+    "fedavg_flat_30": bench_fedavg_flat_30,
+    "des_replay": bench_des_replay,
+}
+
+# Whole-round ops need the executor subsystem; skipped gracefully when the
+# script is pointed at an older checkout for baseline comparison.
+ROUND_OPS = {
+    "gsfl_round_serial": lambda: _gsfl_round_op("serial"),
+    "gsfl_round_thread": lambda: _gsfl_round_op("thread"),
+    "gsfl_round_process": lambda: _gsfl_round_op("process"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dtype", choices=("float32", "float64"), default="float32")
+    parser.add_argument("-o", "--output", default="BENCH_substrate.json")
+    parser.add_argument(
+        "--compare", default=None,
+        help="previous run_bench JSON; speedups vs it are embedded",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.compare:
+        # Validate up front — don't burn minutes of timing first.
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+
+    try:
+        nn.set_default_dtype(args.dtype)
+        dtype = args.dtype
+    except AttributeError:  # pre-dtype substrate (seed baseline runs)
+        dtype = "float64"
+
+    results: dict[str, dict] = {}
+    for name, make_op in OPS.items():
+        results[name] = _timeit(make_op())
+        print(f"{name:>24}: {results[name]['median_s'] * 1e3:9.3f} ms "
+              f"({results[name]['rounds']} rounds)")
+    for name, make_op in ROUND_OPS.items():
+        try:
+            op = make_op()
+        except ImportError:
+            print(f"{name:>24}: skipped (no repro.exec in this checkout)")
+            continue
+        results[name] = _timeit(op, min_rounds=3, min_time_s=1.0)
+        print(f"{name:>24}: {results[name]['median_s'] * 1e3:9.3f} ms "
+              f"({results[name]['rounds']} rounds)")
+
+    out = {
+        "meta": {
+            "dtype": dtype,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "ops": results,
+    }
+    if baseline is not None:
+        speedups = {}
+        for name, entry in results.items():
+            base = baseline.get("ops", {}).get(name)
+            if base:
+                speedups[name] = round(base["median_s"] / entry["median_s"], 3)
+        out["speedup_vs_baseline"] = {
+            "baseline_dtype": baseline.get("meta", {}).get("dtype"),
+            "ops": speedups,
+        }
+        for name, factor in speedups.items():
+            print(f"{name:>24}: {factor:5.2f}x vs baseline")
+
+    with open(args.output, "w") as fh:
+        json.dump(out, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -85,6 +85,41 @@ def test_fedavg_aggregation(benchmark):
     assert set(avg) == set(states[0])
 
 
+def test_fedavg_flat_many_participants(benchmark):
+    """Flat-vector FedAvg at SplitFed scale: 30 participants, one
+    ``weights @ matrix`` collapse instead of a per-key Python loop."""
+    states = [deepthin_cnn(seed=s).state_dict() for s in range(30)]
+    weights = [float(1 + s % 5) for s in range(30)]
+
+    avg = benchmark(lambda: fedavg(states, weights))
+    assert set(avg) == set(states[0])
+
+
+def _gsfl_round(kind: str) -> float:
+    from repro.exec import make_executor
+    from repro.experiments.runner import make_scheme
+    from repro.experiments.scenario import fast_scenario
+
+    built = fast_scenario(with_wireless=True, num_clients=6, num_groups=6).build()
+    with make_executor(kind, None if kind == "serial" else 2) as ex:
+        scheme = make_scheme("GSFL", built, executor=ex)
+        history = scheme.run(1)
+    return history.final_accuracy
+
+
+def test_parallel_round_serial(benchmark):
+    """One GSFL round (M=6) on the serial backend — the reference cost."""
+    acc = benchmark.pedantic(lambda: _gsfl_round("serial"), rounds=3, iterations=1)
+    assert 0.0 <= acc <= 1.0
+
+
+def test_parallel_round_thread(benchmark):
+    """Same round on the thread backend; speedup scales with free cores
+    (BLAS releases the GIL), parity tests guarantee identical results."""
+    acc = benchmark.pedantic(lambda: _gsfl_round("thread"), rounds=3, iterations=1)
+    assert 0.0 <= acc <= 1.0
+
+
 def test_des_replay_throughput(benchmark):
     """Replay a 6-track, 600-activity round through the event kernel."""
 

@@ -18,9 +18,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.exec import EXECUTOR_KINDS, Executor, make_executor
 from repro.experiments.figures import run_fig2a, run_fig2b
 from repro.experiments.runner import SCHEME_REGISTRY, make_scheme
 from repro.experiments.scenario import fast_scenario, paper_scenario
+from repro.nn.dtype import set_default_dtype
 
 __all__ = ["main", "build_parser"]
 
@@ -44,6 +46,24 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--train-per-class", type=int, default=None,
         help="override training samples per class",
+    )
+    common.add_argument(
+        "--executor",
+        choices=sorted(EXECUTOR_KINDS),
+        default="serial",
+        help="round-execution backend for parallel pipelines "
+        "(GSFL groups, SplitFed/PSL clients)",
+    )
+    common.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for thread/process executors (default: CPU count)",
+    )
+    common.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default="float32",
+        help="compute dtype for models and training (float32 is the "
+        "fast default; float64 reproduces legacy double-precision runs)",
     )
 
     p2a = sub.add_parser("fig2a", parents=[common], help="accuracy vs rounds (Fig 2a)")
@@ -79,11 +99,16 @@ def _scenario(args: argparse.Namespace):
     return scenario
 
 
+def _executor(args: argparse.Namespace) -> Executor:
+    return make_executor(args.executor, args.workers)
+
+
 def _cmd_fig2a(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
     scenario.wireless = None  # accuracy axis only
-    result = run_fig2a(scenario, num_rounds=args.rounds, target_accuracy=args.target,
-                       verbose=True)
+    with _executor(args) as ex:
+        result = run_fig2a(scenario, num_rounds=args.rounds,
+                           target_accuracy=args.target, verbose=True, executor=ex)
     print()
     print(result.table)
     speedup = result.gsfl_over_fl_speedup
@@ -94,8 +119,9 @@ def _cmd_fig2a(args: argparse.Namespace) -> int:
 
 def _cmd_fig2b(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
-    result = run_fig2b(scenario, num_rounds=args.rounds, target_accuracy=args.target,
-                       verbose=True)
+    with _executor(args) as ex:
+        result = run_fig2b(scenario, num_rounds=args.rounds,
+                           target_accuracy=args.target, verbose=True, executor=ex)
     print()
     print(result.table)
     reduction = result.delay_reduction
@@ -115,11 +141,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         scenario.scheme = replace(scenario.scheme, quantize_bits=args.quantize_bits)
     built = scenario.build()
-    overrides = {}
-    if args.scheme == "GSFL" and args.failure_rate > 0:
-        overrides["failure_rate"] = args.failure_rate
-    scheme = make_scheme(args.scheme, built, **overrides)
-    history = scheme.run(args.rounds)
+    with _executor(args) as ex:
+        overrides: dict = {"executor": ex}
+        if args.scheme == "GSFL" and args.failure_rate > 0:
+            overrides["failure_rate"] = args.failure_rate
+        scheme = make_scheme(args.scheme, built, **overrides)
+        history = scheme.run(args.rounds)
     print(f"{'round':>6} {'latency_s':>10} {'loss':>8} {'accuracy':>9}")
     for p in history.points:
         print(f"{p.round_index:>6} {p.latency_s:>10.2f} {p.train_loss:>8.3f} "
@@ -174,7 +201,13 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    # Dtype must be pinned before any model/scenario construction; restore
+    # afterwards so in-process callers (tests) see no global side effect.
+    previous = set_default_dtype(args.dtype)
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        set_default_dtype(previous)
 
 
 if __name__ == "__main__":

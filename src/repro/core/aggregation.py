@@ -5,6 +5,13 @@ client-side models into a new one respectively.  Model aggregation can be
 conducted through FedAVG."  Aggregation is a weighted average of every
 parameter *and buffer* (batch-norm running statistics average like
 parameters, the standard FedAvg-BN treatment).
+
+Implementation: every state dict is flattened (``pack_state`` layout)
+straight into one ``(M, K)`` matrix and the whole average collapses to a
+single ``weights @ matrix`` BLAS call — instead of the per-key Python
+loop the original implementation used; the result is rebuilt with
+:func:`~repro.nn.serialize.unpack_state`.  Aggregation keeps the states'
+dtype (a float32 model averages in float32; no silent float64 upcast).
 """
 
 from __future__ import annotations
@@ -13,9 +20,55 @@ from collections import OrderedDict
 
 import numpy as np
 
-from repro.nn.serialize import state_num_scalars
+from repro.nn.serialize import unpack_state
 
 __all__ = ["fedavg", "uniform_average", "weighted_delta"]
+
+
+def _normalized_weights(
+    weights: "list[float] | np.ndarray | None", num_states: int
+) -> np.ndarray:
+    if weights is None:
+        weights = np.ones(num_states)
+    weights = np.asarray(weights, dtype=np.float64)
+    if len(weights) != num_states:
+        raise ValueError(f"{len(weights)} weights for {num_states} states")
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    return weights / weights.sum()
+
+
+def _stack_states(states: list[dict[str, np.ndarray]]) -> np.ndarray:
+    """Validate key/shape agreement and pack states into an (M, K) matrix.
+
+    Each state is flattened straight into its row of one preallocated
+    matrix (the moral equivalent of per-state
+    :func:`~repro.nn.serialize.pack_state`, without materializing M
+    intermediate vectors and re-copying them into a stack).
+    """
+    if not states:
+        raise ValueError("fedavg needs at least one state dict")
+    keys = list(states[0].keys())
+    template = [np.asarray(v) for v in states[0].values()]
+    shapes = [v.shape for v in template]
+    sizes = [v.size for v in template]
+    matrix = np.empty(
+        (len(states), int(sum(sizes))),
+        dtype=np.result_type(*template) if template else np.float64,
+    )
+    for i, state in enumerate(states):
+        if i and list(state.keys()) != keys:
+            raise ValueError(f"state {i} has mismatched keys")
+        offset = 0
+        for key, shape, size, value in zip(keys, shapes, sizes, state.values()):
+            value = np.asarray(value)
+            if value.shape != shape:
+                raise ValueError(
+                    f"shape mismatch for key {key!r}: {value.shape} vs {shape}"
+                )
+            matrix[i, offset : offset + size] = value.reshape(-1)
+            offset += size
+    return matrix
 
 
 def fedavg(
@@ -26,37 +79,11 @@ def fedavg(
     Weights are typically per-participant sample counts.  All states must
     share identical keys and shapes.
     """
-    if not states:
-        raise ValueError("fedavg needs at least one state dict")
-    keys = list(states[0].keys())
-    for i, state in enumerate(states[1:], start=1):
-        if list(state.keys()) != keys:
-            raise ValueError(f"state {i} has mismatched keys")
-        if state_num_scalars(state) != state_num_scalars(states[0]):
-            raise ValueError(f"state {i} has mismatched sizes")
-
-    if weights is None:
-        weights = np.ones(len(states))
-    weights = np.asarray(weights, dtype=np.float64)
-    if len(weights) != len(states):
-        raise ValueError(f"{len(weights)} weights for {len(states)} states")
-    if np.any(weights < 0) or weights.sum() <= 0:
-        raise ValueError("weights must be non-negative with positive sum")
-    weights = weights / weights.sum()
-
-    out: OrderedDict[str, np.ndarray] = OrderedDict()
-    for key in keys:
-        first = np.asarray(states[0][key], dtype=np.float64)
-        acc = np.zeros_like(first)
-        for state, w in zip(states, weights):
-            value = np.asarray(state[key], dtype=np.float64)
-            if value.shape != first.shape:
-                raise ValueError(
-                    f"shape mismatch for key {key!r}: {value.shape} vs {first.shape}"
-                )
-            acc += w * value
-        out[key] = acc
-    return out
+    matrix = _stack_states(states)
+    weights = _normalized_weights(weights, len(states)).astype(matrix.dtype, copy=False)
+    # The averaged vector is freshly allocated, so the per-key entries can
+    # be views into it — no re-copy.
+    return unpack_state(weights @ matrix, states[0], copy=False)
 
 
 def uniform_average(states: list[dict[str, np.ndarray]]) -> "OrderedDict[str, np.ndarray]":
@@ -76,9 +103,16 @@ def weighted_delta(
     server-side damping/acceleration (an extension beyond the paper, used
     in ablations).
     """
-    avg = fedavg(states, weights)
-    out: OrderedDict[str, np.ndarray] = OrderedDict()
-    for key, value in avg.items():
-        base_v = np.asarray(base[key], dtype=np.float64)
-        out[key] = base_v + server_lr * (value - base_v)
-    return out
+    matrix = _stack_states(states)
+    weights = _normalized_weights(weights, len(states)).astype(matrix.dtype, copy=False)
+    avg_vec = weights @ matrix
+    # Flatten ``base`` in the states' key order (KeyError on missing keys).
+    base_vec = np.concatenate(
+        [np.asarray(base[key]).reshape(-1) for key in states[0]]
+    ).astype(avg_vec.dtype, copy=False)
+    if base_vec.size != avg_vec.size:
+        raise ValueError(
+            f"base has {base_vec.size} scalars, states have {avg_vec.size}"
+        )
+    lr = avg_vec.dtype.type(server_lr)
+    return unpack_state(base_vec + lr * (avg_vec - base_vec), states[0], copy=False)

@@ -23,6 +23,13 @@ progress) while groups parallelize wall-clock time; FL gets only
 rounds-to-accuracy (slightly behind due to averaging), ≫ FL; and GSFL
 beats SL in wall clock by parallelizing client compute and concentrating
 transmit power on narrower subchannels.
+
+The round engine mirrors that structure on the host: the parent thread
+draws everything stateful (failure injection, mini-batches, priced
+activities with their fading realizations) in protocol order, then the
+``M`` independent group pipelines run on the scheme's
+:mod:`repro.exec` executor — serial, thread-pool, or process-pool —
+with bitwise-identical training histories on every backend.
 """
 
 from __future__ import annotations
@@ -35,7 +42,12 @@ from repro.core.grouping import make_groups, validate_groups
 from repro.nn.split import split_model
 from repro.schemes.base import Activity, Scheme, Stage
 from repro.schemes.pricing import LatencyModel
-from repro.schemes.split_common import split_local_round
+from repro.schemes.split_common import (
+    GroupTask,
+    SplitHyperParams,
+    price_local_round,
+    run_group_tasks,
+)
 
 __all__ = ["GroupSplitFederatedLearning"]
 
@@ -135,12 +147,16 @@ class GroupSplitFederatedLearning(Scheme):
         pricing = self._pricing
         client_model_bytes = pricing.client_model_nbytes(self.cut_layer)
 
+        # ------------------------------------------------------------------
+        # Phase 1 (parent thread, protocol order): draw everything that
+        # consumes shared RNG streams — failure injection, per-client data
+        # batches, and channel-fading-priced activities — and package each
+        # surviving group's work as an independent task.  Groups share no
+        # training state within a round, so the tasks can then run on any
+        # executor backend with bitwise-identical results.
+        # ------------------------------------------------------------------
         training = Stage("group_training")
-        client_states: list[dict[str, np.ndarray]] = []
-        server_states: list[dict[str, np.ndarray]] = []
-        group_weights: list[float] = []
-        total_loss = 0.0
-        participants = 0
+        tasks: list[GroupTask] = []
 
         for g, all_members in enumerate(self.groups):
             track = f"group-{g}"
@@ -160,14 +176,7 @@ class GroupSplitFederatedLearning(Scheme):
             else:
                 members = all_members
 
-            # Load the group's replica of both halves (M replicas at the
-            # edge; we materialize them one at a time — groups share no
-            # state within a round, so eager order is irrelevant).
-            self.split.client.load_state_dict(self._global_client_state)
-            self.split.server.load_state_dict(self._global_server_state)
-            client_opt = self._make_sgd(self.split.client.parameters())
-            server_opt = self._make_sgd(self.split.server.parameters())
-
+            batches = []
             for position, client in enumerate(members):
                 if position == 0:
                     # Step 1 (distribution): AP → first client of the group.
@@ -182,19 +191,22 @@ class GroupSplitFederatedLearning(Scheme):
                             nbytes=client_model_bytes,
                         ),
                     )
-                loss, activities = split_local_round(
-                    client_id=client,
-                    split=self.split,
-                    client_opt=client_opt,
-                    server_opt=server_opt,
-                    loader=self.client_loaders[client],
-                    loss_fn=self._loss_fn,
-                    local_steps=self.config.local_steps,
-                    pricing=pricing,
-                    bandwidth_hz=bandwidth,
+                batches.append(
+                    [
+                        self.client_loaders[client].sample_batch()
+                        for _ in range(self.config.local_steps)
+                    ]
                 )
-                total_loss += loss
-                training.extend(track, activities)
+                training.extend(
+                    track,
+                    price_local_round(
+                        client,
+                        self.cut_layer,
+                        self.config.local_steps,
+                        pricing,
+                        bandwidth,
+                    ),
+                )
 
                 if position < len(members) - 1:
                     # Step 2.3 (sharing): relay to the next client via AP.
@@ -226,11 +238,30 @@ class GroupSplitFederatedLearning(Scheme):
                         ),
                     )
 
-            client_states.append(self.split.client.state_dict())
-            server_states.append(self.split.server.state_dict())
-            group_weights.append(sum(len(self.client_datasets[c]) for c in members))
-            participants += len(members)
+            tasks.append(
+                GroupTask(
+                    index=g,
+                    members=list(members),
+                    batches=batches,
+                    client_state=self._global_client_state,
+                    server_state=self._global_server_state,
+                    weight=float(
+                        sum(len(self.client_datasets[c]) for c in members)
+                    ),
+                )
+            )
 
+        # ------------------------------------------------------------------
+        # Phase 2: run the M group pipelines on the configured executor
+        # (each worker trains its own SplitModel replica from the global
+        # halves — the M edge replicas of §II, now genuinely concurrent).
+        # ------------------------------------------------------------------
+        results = run_group_tasks(
+            tasks, self.executor, self.split, SplitHyperParams.from_config(self.config)
+        )
+
+        participants = sum(r.num_members for r in results)
+        total_loss = sum(r.loss_sum for r in results)
         self._last_train_loss = (
             total_loss / participants if participants else float("nan")
         )
@@ -239,16 +270,23 @@ class GroupSplitFederatedLearning(Scheme):
         # failure injection wiped out every group, the round is a no-op
         # and the previous global model carries over.
         aggregation = Stage("aggregation")
-        if client_states:
-            self._global_client_state = fedavg(client_states, group_weights)
-            self._global_server_state = fedavg(server_states, group_weights)
-            self.split.client.load_state_dict(self._global_client_state)
-            self.split.server.load_state_dict(self._global_server_state)
+        if results:
+            group_weights = [r.weight for r in results]
+            self._global_client_state = fedavg(
+                [r.client_state for r in results], group_weights
+            )
+            self._global_server_state = fedavg(
+                [r.server_state for r in results], group_weights
+            )
+            # fedavg allocates fresh arrays and the globals are only read
+            # afterwards, so the halves can adopt them without re-copying.
+            self.split.client.load_state_dict(self._global_client_state, copy=False)
+            self.split.server.load_state_dict(self._global_server_state, copy=False)
             aggregation.add(
                 "edge-server",
                 Activity(
                     pricing.aggregation_s(
-                        len(client_states), self.model.num_parameters()
+                        len(results), self.model.num_parameters()
                     ),
                     "aggregation",
                     "edge-server",

@@ -18,9 +18,11 @@ full history for custom post-processing.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
+from repro.exec import Executor
 from repro.experiments.runner import make_scheme
 from repro.experiments.scenario import ExperimentScenario
 from repro.metrics.history import TrainingHistory
@@ -92,37 +94,62 @@ class ParameterSweep:
             extra_kwargs[axis.name] = value
         return scenario, extra_kwargs
 
+    def _run_point(self, value: Any, scheme: str, num_rounds: int, axis: SweepAxis
+                   ) -> SweepRow:
+        """One sweep point: fresh scenario, fresh scheme, full run."""
+        scenario = self.base_scenario_factory()
+        for mutate in self.mutators:
+            scenario = mutate(scenario)
+        scenario, extra = self._apply(scenario, axis, value)
+        built = scenario.build()
+        instance = make_scheme(scheme, built, **extra)
+        history = instance.run(num_rounds)
+        return SweepRow(
+            value=value,
+            final_accuracy=history.final_accuracy,
+            best_accuracy=history.best_accuracy,
+            total_latency_s=history.total_latency_s,
+            history=history,
+        )
+
     def run(
         self,
         scheme: str,
         num_rounds: int,
         axis: SweepAxis,
         verbose: bool = False,
+        executor: Executor | None = None,
     ) -> list[SweepRow]:
-        """Execute the sweep; one fresh scenario + scheme run per value."""
-        rows: list[SweepRow] = []
-        for value in axis.values:
-            scenario = self.base_scenario_factory()
-            for mutate in self.mutators:
-                scenario = mutate(scenario)
-            scenario, extra = self._apply(scenario, axis, value)
-            built = scenario.build()
-            instance = make_scheme(scheme, built, **extra)
-            history = instance.run(num_rounds)
-            rows.append(
-                SweepRow(
-                    value=value,
-                    final_accuracy=history.final_accuracy,
-                    best_accuracy=history.best_accuracy,
-                    total_latency_s=history.total_latency_s,
-                    history=history,
-                )
+        """Execute the sweep; one fresh scenario + scheme run per value.
+
+        ``executor`` fans the sweep points out as one task each (every
+        point builds its own independently seeded scenario, so results
+        are identical across backends).  The process backend additionally
+        requires ``base_scenario_factory`` and ``mutators`` to be
+        picklable (module-level functions, not lambdas).
+        """
+        point = functools.partial(
+            self._run_point, scheme=scheme, num_rounds=num_rounds, axis=axis
+        )
+
+        def report(row: SweepRow) -> None:
+            print(
+                f"{axis.name}={row.value}: acc={row.final_accuracy:.3f}, "
+                f"latency={row.total_latency_s:.3f}s"
             )
+
+        if executor is None:
+            rows = []
+            for value in axis.values:
+                row = point(value)
+                if verbose:
+                    report(row)  # stream progress as each point finishes
+                rows.append(row)
+        else:
+            rows = executor.map_groups(point, axis.values)
             if verbose:
-                print(
-                    f"{axis.name}={value}: acc={history.final_accuracy:.3f}, "
-                    f"latency={history.total_latency_s:.3f}s"
-                )
+                for row in rows:
+                    report(row)
         return rows
 
     @staticmethod

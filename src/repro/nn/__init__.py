@@ -11,6 +11,7 @@ surface intentionally mirrors familiar ``torch.nn`` idioms.
 
 from repro.nn import functional
 from repro.nn.checkpoint import clip_grad_norm, grad_norm, load_checkpoint, save_checkpoint
+from repro.nn.dtype import default_dtype, get_default_dtype, set_default_dtype
 from repro.nn.conv import AvgPool2d, Conv2d, MaxPool2d
 from repro.nn.extra_layers import GELU, GlobalAvgPool2d, LayerNorm, LeakyReLU, Softmax
 from repro.nn.layers import (
@@ -48,6 +49,9 @@ from repro.nn.tensor import Tensor, concatenate, no_grad, stack, unbroadcast
 
 __all__ = [
     "functional",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
     "Tensor",
     "no_grad",
     "stack",

@@ -1,0 +1,70 @@
+"""Configurable numeric dtype for the whole compute substrate.
+
+The paper's wire format is float32 (``WIRE_BYTES_PER_SCALAR = 4``) and
+float32 halves the memory traffic and roughly doubles BLAS throughput of
+the numpy substrate, so it is the default compute dtype.  Everything that
+allocates numeric state — :class:`~repro.nn.module.Parameter`, registered
+buffers, weight init, :class:`~repro.nn.tensor.Tensor` creation — consults
+:func:`get_default_dtype`; users who need double precision (e.g. exact
+reproduction of legacy float64 runs, or numeric gradient checks) opt back
+in with :func:`set_default_dtype` or the :class:`default_dtype` context
+manager::
+
+    from repro import nn
+
+    nn.set_default_dtype(np.float64)        # process-wide
+    with nn.default_dtype(np.float64):      # scoped
+        model = build_model("micro_cnn")
+
+Only the dtype *at allocation time* matters: a model built under float64
+keeps float64 parameters regardless of later default changes
+(``load_state_dict`` casts incoming arrays to each parameter's own dtype).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["get_default_dtype", "set_default_dtype", "default_dtype"]
+
+_ALLOWED = (np.dtype(np.float32), np.dtype(np.float64))
+
+_default_dtype = np.dtype(np.float32)
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype used for new parameters, buffers and float tensors."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype: "np.dtype | type | str") -> np.dtype:
+    """Set the process-wide default compute dtype; returns the previous one.
+
+    Only ``float32`` and ``float64`` are supported — integer or half
+    dtypes would break the autodiff substrate.
+    """
+    global _default_dtype
+    resolved = np.dtype(dtype)
+    if resolved not in _ALLOWED:
+        raise ValueError(
+            f"default dtype must be float32 or float64, got {resolved}"
+        )
+    previous = _default_dtype
+    _default_dtype = resolved
+    return previous
+
+
+class default_dtype:
+    """Context manager scoping :func:`set_default_dtype` to a block."""
+
+    def __init__(self, dtype: "np.dtype | type | str") -> None:
+        self._dtype = dtype
+        self._previous: np.dtype | None = None
+
+    def __enter__(self) -> "default_dtype":
+        self._previous = set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._previous is not None
+        set_default_dtype(self._previous)

@@ -14,19 +14,26 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.nn.dtype import get_default_dtype
 from repro.nn.tensor import Tensor
 
 __all__ = ["Parameter", "Module", "Sequential"]
 
 
 class Parameter(Tensor):
-    """A tensor that is a trainable parameter of a module."""
+    """A tensor that is a trainable parameter of a module.
+
+    Allocated in the configured compute dtype
+    (:func:`repro.nn.dtype.get_default_dtype`, float32 by default).
+    """
 
     def __init__(self, data: object) -> None:
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+        super().__init__(
+            np.asarray(data, dtype=get_default_dtype()), requires_grad=True
+        )
 
     def __repr__(self) -> str:
-        return f"Parameter(shape={self.shape})"
+        return f"Parameter(shape={self.shape}, dtype={self.dtype})"
 
 
 class Module:
@@ -37,6 +44,7 @@ class Module:
         object.__setattr__(self, "_buffers", OrderedDict())
         object.__setattr__(self, "_modules", OrderedDict())
         object.__setattr__(self, "training", True)
+        object.__setattr__(self, "_num_params_cache", None)
 
     # ------------------------------------------------------------------
     # registration
@@ -44,20 +52,27 @@ class Module:
     def __setattr__(self, name: str, value: object) -> None:
         if isinstance(value, Parameter):
             self._parameters[name] = value
+            object.__setattr__(self, "_num_params_cache", None)
         elif isinstance(value, Module):
             self._modules[name] = value
         object.__setattr__(self, name, value)
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
-        """Register a non-trainable persistent array (e.g. running stats)."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        """Register a non-trainable persistent array (e.g. running stats).
+
+        Buffers are allocated in the configured compute dtype (float32 by
+        default); later updates keep whatever dtype the buffer was
+        registered with.
+        """
+        self._buffers[name] = np.asarray(value, dtype=get_default_dtype())
         object.__setattr__(self, name, self._buffers[name])
 
     def _update_buffer(self, name: str, value: np.ndarray) -> None:
         """Replace a registered buffer's contents, keeping registration."""
         if name not in self._buffers:
             raise KeyError(f"no buffer named {name!r}")
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        dtype = self._buffers[name].dtype
+        self._buffers[name] = np.asarray(value, dtype=dtype)
         object.__setattr__(self, name, self._buffers[name])
 
     # ------------------------------------------------------------------
@@ -112,26 +127,56 @@ class Module:
             param.zero_grad()
 
     def num_parameters(self) -> int:
-        """Total scalar parameter count."""
-        return sum(p.size for p in self.parameters())
+        """Total scalar parameter count.
+
+        Each module caches its *own* parameters' scalar count (invalidated
+        when a parameter is (re)assigned) and recursion only walks the
+        module tree — latency pricing calls this every round, and the seed
+        implementation re-walked every parameter of every layer each time.
+        """
+        own = self._num_params_cache
+        if own is None:
+            own = sum(p.size for p in self._parameters.values())
+            object.__setattr__(self, "_num_params_cache", own)
+        return own + sum(m.num_parameters() for m in self._modules.values())
 
     # ------------------------------------------------------------------
     # state dict
     # ------------------------------------------------------------------
-    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
-        """Copy all parameters and buffers into an ordered name→array map."""
+    def state_dict(self, copy: bool = True) -> "OrderedDict[str, np.ndarray]":
+        """All parameters and buffers as an ordered name→array map.
+
+        ``copy=False`` returns the live arrays without copying.  This is
+        safe whenever the module will not be trained or reloaded while the
+        state dict is still in use — and in fact the substrate never
+        mutates parameter or buffer arrays in place (optimizers and buffer
+        updates *rebind* ``param.data`` / the buffer entry to a fresh
+        array), so a no-copy snapshot stays valid across further training;
+        it just stops tracking the module.  Use the default ``copy=True``
+        when unsure.
+        """
         state: OrderedDict[str, np.ndarray] = OrderedDict()
-        for name, param in self.named_parameters():
-            state[name] = param.data.copy()
-        for name, buf in self.named_buffers():
-            state[name] = buf.copy()
+        if copy:
+            for name, param in self.named_parameters():
+                state[name] = param.data.copy()
+            for name, buf in self.named_buffers():
+                state[name] = buf.copy()
+        else:
+            for name, param in self.named_parameters():
+                state[name] = param.data
+            for name, buf in self.named_buffers():
+                state[name] = buf
         return state
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: dict[str, np.ndarray], copy: bool = True) -> None:
         """Restore parameters and buffers from :meth:`state_dict` output.
 
         Raises ``KeyError`` on missing entries and ``ValueError`` on shape
         mismatch — silent partial loads hide split/aggregation bugs.
+        Values are cast to each parameter's/buffer's existing dtype.
+        ``copy=False`` adopts the incoming arrays without copying (when no
+        cast is needed); callers own the guarantee that they will not
+        mutate ``state``'s arrays afterwards.
         """
         param_map = dict(self.named_parameters())
         buffer_owners = self._buffer_owners()
@@ -148,7 +193,7 @@ class Module:
                     f"shape mismatch for {name!r}: expected {param.data.shape}, "
                     f"got {value.shape}"
                 )
-            param.data = value.astype(param.data.dtype).copy()
+            param.data = value.astype(param.data.dtype, copy=copy)
         for name, (owner, local) in buffer_owners.items():
             value = np.asarray(state[name])
             if value.shape != owner._buffers[local].shape:
@@ -156,6 +201,10 @@ class Module:
                     f"shape mismatch for buffer {name!r}: expected "
                     f"{owner._buffers[local].shape}, got {value.shape}"
                 )
+            # _update_buffer adopts same-dtype arrays by reference; copy
+            # here so copy=True keeps its promise for buffers too.
+            if copy and value.dtype == owner._buffers[local].dtype:
+                value = value.copy()
             owner._update_buffer(local, value)
 
     def _buffer_owners(

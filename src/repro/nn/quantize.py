@@ -26,13 +26,20 @@ __all__ = ["QuantizedArray", "quantize_uniform", "dequantize", "simulate_wire"]
 
 @dataclass(frozen=True)
 class QuantizedArray:
-    """A quantized payload plus the metadata needed to reconstruct it."""
+    """A quantized payload plus the metadata needed to reconstruct it.
+
+    ``constant=True`` marks a degenerate constant tensor whose value is
+    carried in ``scale`` (an explicit flag — a sentinel ``zero_point``
+    would collide with legitimately negative zero points, e.g.
+    ``[1.0, 12.0]`` at 4 bits rounds to zero point -1).
+    """
 
     codes: np.ndarray  # unsigned integer codes
     scale: float
     zero_point: int
     num_bits: int
     shape: tuple[int, ...]
+    constant: bool = False
 
     @property
     def payload_bytes(self) -> int:
@@ -60,14 +67,15 @@ def quantize_uniform(x: np.ndarray, num_bits: int = 8) -> QuantizedArray:
         )
     lo, hi = float(x.min()), float(x.max())
     if hi <= lo:
-        # Constant tensor: encode the constant in ``scale`` with the
-        # zero_point=-1 sentinel (dequantize returns full(scale)).
+        # Constant tensor: encode the constant in ``scale`` (dequantize
+        # returns full(scale)).
         return QuantizedArray(
             codes=np.zeros(x.shape, dtype=np.uint16),
             scale=lo,
-            zero_point=-1,
+            zero_point=0,
             num_bits=num_bits,
             shape=x.shape,
+            constant=True,
         )
     scale = (hi - lo) / levels
     zero_point = int(np.round(-lo / scale))
@@ -81,17 +89,19 @@ def dequantize(q: QuantizedArray) -> np.ndarray:
     """Reconstruct the float array from a :class:`QuantizedArray`."""
     if q.codes.size == 0:
         return np.zeros(q.shape)
-    if q.zero_point == -1:  # constant-tensor sentinel
+    if q.constant:
         return np.full(q.shape, q.scale)
     return ((q.codes.astype(np.float64) - q.zero_point) * q.scale).reshape(q.shape)
 
 
 def simulate_wire(x: np.ndarray, num_bits: int | None) -> np.ndarray:
-    """Round-trip ``x`` through the wire at ``num_bits`` (None = float32).
+    """Round-trip ``x`` through the wire at ``num_bits`` (None = lossless).
 
     This is what the schemes call: the receiver sees exactly what
-    quantization preserved.
+    quantization preserved.  The result keeps the input's dtype (the
+    quantization grid itself is computed in float64 for precision).
     """
+    x = np.asarray(x)
     if num_bits is None:
-        return np.asarray(x, dtype=np.float64)
-    return dequantize(quantize_uniform(x, num_bits))
+        return x
+    return dequantize(quantize_uniform(x, num_bits)).astype(x.dtype, copy=False)

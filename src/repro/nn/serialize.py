@@ -80,17 +80,27 @@ def activation_nbits(
 
 
 def pack_state(state: dict[str, np.ndarray]) -> np.ndarray:
-    """Flatten a state dict into one float64 vector (key order preserved)."""
+    """Flatten a state dict into one flat vector (key order preserved).
+
+    The vector's dtype is the numpy promotion of the entries' dtypes — a
+    uniformly float32 state packs to float32 (no silent float64 upcast).
+    """
     if not state:
         return np.zeros(0)
-    return np.concatenate([np.asarray(v, dtype=np.float64).reshape(-1) for v in state.values()])
+    return np.concatenate([np.asarray(v).reshape(-1) for v in state.values()])
 
 
 def unpack_state(
-    vector: np.ndarray, template: dict[str, np.ndarray]
+    vector: np.ndarray, template: dict[str, np.ndarray], copy: bool = True
 ) -> "OrderedDict[str, np.ndarray]":
-    """Inverse of :func:`pack_state` given a template with target shapes."""
-    vector = np.asarray(vector, dtype=np.float64)
+    """Inverse of :func:`pack_state` given a template with target shapes.
+
+    Each output entry is cast back to the template entry's dtype.  With
+    ``copy=False`` entries may be views into ``vector`` (safe when the
+    caller owns ``vector`` and will not mutate it — e.g. a freshly
+    computed aggregation result).
+    """
+    vector = np.asarray(vector)
     expected = state_num_scalars(template)
     if vector.size != expected:
         raise ValueError(f"vector has {vector.size} scalars, template needs {expected}")
@@ -98,7 +108,12 @@ def unpack_state(
     offset = 0
     for key, value in template.items():
         arr = np.asarray(value)
-        out[key] = vector[offset : offset + arr.size].reshape(arr.shape).copy()
+        chunk = vector[offset : offset + arr.size].reshape(arr.shape)
+        if chunk.dtype != arr.dtype:
+            chunk = chunk.astype(arr.dtype)
+        elif copy:
+            chunk = chunk.copy()
+        out[key] = chunk
         offset += arr.size
     return out
 

@@ -16,32 +16,45 @@ Only float64/float32 data participates in differentiation; integer tensors
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.nn.dtype import get_default_dtype
+
 __all__ = ["Tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Per-thread grad-recording flag.
+
+    Thread-local (not a module global) so one worker's ``no_grad``
+    evaluation window cannot disable graph construction in a concurrently
+    training thread-pool worker.
+    """
+
+    enabled = True
+
+
+_grad_mode = _GradMode()
 
 
 class no_grad:
     """Context manager disabling graph construction (for eval/inference)."""
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = _grad_mode.enabled
+        _grad_mode.enabled = False
         return self
 
     def __exit__(self, *exc: object) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _grad_mode.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations are being recorded on the tape."""
-    return _GRAD_ENABLED
+    return _grad_mode.enabled
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -68,8 +81,12 @@ def _as_array(data: object, dtype: np.dtype | None = None) -> np.ndarray:
     arr = np.asarray(data)
     if dtype is not None:
         arr = arr.astype(dtype, copy=False)
-    elif arr.dtype == np.float16:
-        arr = arr.astype(np.float32)
+    elif arr.dtype.kind == "f":
+        # Floating data enters the graph in the configured compute dtype
+        # (float32 by default); integer/bool tensors pass through untouched.
+        default = get_default_dtype()
+        if arr.dtype != default:
+            arr = arr.astype(default)
     return arr
 
 
@@ -101,10 +118,11 @@ class Tensor:
             raise TypeError(
                 f"only floating-point tensors can require grad, got dtype {self.data.dtype}"
             )
-        self.requires_grad = bool(requires_grad and _GRAD_ENABLED)
+        grad_enabled = _grad_mode.enabled
+        self.requires_grad = bool(requires_grad and grad_enabled)
         self.grad: np.ndarray | None = None
-        self._parents: tuple[Tensor, ...] = tuple(_parents) if _GRAD_ENABLED else ()
-        self._backward = _backward if _GRAD_ENABLED else None
+        self._parents: tuple[Tensor, ...] = tuple(_parents) if grad_enabled else ()
+        self._backward = _backward if grad_enabled else None
         self._op = _op
 
     # ------------------------------------------------------------------

@@ -6,11 +6,12 @@ concurrently executing actor.  Tracks inside a stage run in parallel,
 stages are separated by barriers (exactly the structure of GSFL: parallel
 group training → barrier → aggregation).
 
-The actual numpy training runs *eagerly* when the scheme builds its
-activities; the discrete-event kernel then **replays** the timing
+The actual numpy training runs when the scheme builds its activities
+(on the scheme's :mod:`repro.exec` executor for the parallel-pipeline
+schemes); the discrete-event kernel then **replays** the timing
 structure to compose wall-clock latency and emit the global trace.  This
 split keeps learning math and latency simulation decoupled while both
-stay exact: groups never share state inside a round, so eager execution
+stay exact: groups never share state inside a round, so host execution
 order cannot change the learned weights.
 """
 
@@ -22,6 +23,7 @@ import numpy as np
 
 from repro import nn
 from repro.data.dataset import DataLoader, Dataset
+from repro.exec import Executor, SerialExecutor
 from repro.metrics.evaluate import evaluate_model
 from repro.metrics.history import TrainingHistory
 from repro.sim.engine import Environment
@@ -164,6 +166,7 @@ class Scheme:
         profile: nn.ModelProfile | None = None,
         config: SchemeConfig | None = None,
         recorder: TraceRecorder | None = None,
+        executor: Executor | None = None,
     ) -> None:
         if not client_datasets:
             raise ValueError("need at least one client dataset")
@@ -174,6 +177,10 @@ class Scheme:
         self.profile = profile
         self.config = config or SchemeConfig()
         self.recorder = recorder if recorder is not None else TraceRecorder()
+        # Round-execution backend for schemes with independent per-group /
+        # per-client pipelines (GSFL, SplitFed, PSL); inherently sequential
+        # schemes (SL, CL) ignore it.
+        self.executor = executor if executor is not None else SerialExecutor()
         self.history = TrainingHistory(scheme=self.name)
         self._elapsed_s = 0.0
         self._last_train_loss = float("nan")

@@ -27,17 +27,66 @@ grouping improves on).
 
 from __future__ import annotations
 
+import copy
+import functools
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro import nn
 from repro.core.aggregation import fedavg
 from repro.nn.quantize import simulate_wire
-from repro.nn.split import SmashedBatch, split_model
+from repro.nn.split import ClientHalf, SmashedBatch, split_model
 from repro.nn.tensor import Tensor
 from repro.schemes.base import Activity, Scheme, Stage
 from repro.schemes.pricing import LatencyModel
+from repro.schemes.split_common import SplitHyperParams
 
 __all__ = ["ParallelSplitLearning"]
+
+
+@dataclass
+class _ClientPhaseTask:
+    """One client's share of a PSL lockstep phase (forward or backward)."""
+
+    client: int
+    state: dict[str, np.ndarray]
+    xb: np.ndarray
+    grad: np.ndarray | None = None  # None → forward-only phase
+    half: ClientHalf = field(repr=False, default=None)  # type: ignore[assignment]
+    private_replica: bool = True
+
+
+def _client_forward(task: _ClientPhaseTask) -> np.ndarray:
+    """Forward phase: produce the smashed values that go on the wire."""
+    task.half.load_state_dict(task.state)
+    return task.half.forward_to_smashed(Tensor(task.xb)).values
+
+
+def _client_backward(
+    task: _ClientPhaseTask, hp: SplitHyperParams
+) -> dict[str, np.ndarray]:
+    """Backward phase: re-run the forward to rebuild this client's graph,
+    inject the fused gradient slice, step, and return the new half-state.
+
+    (The re-run is inherent to PSL's single-server design: the worker's
+    module may have served another client since the forward phase.
+    Deterministic layers reproduce the same smashed values; batch-norm
+    running stats are touched twice per step, which only perturbs the
+    aggregated buffers slightly.)
+    """
+    task.half.load_state_dict(task.state)
+    task.half.forward_to_smashed(Tensor(task.xb))
+    opt = nn.SGD(
+        task.half.parameters(),
+        lr=hp.lr,
+        momentum=hp.momentum,
+        weight_decay=hp.weight_decay,
+    )
+    opt.zero_grad()
+    task.half.backward_from_gradient(task.grad)
+    opt.step()
+    return task.half.state_dict(copy=not task.private_replica)
 
 
 class ParallelSplitLearning(Scheme):
@@ -59,6 +108,30 @@ class ParallelSplitLearning(Scheme):
         )
         self._server_opt = self._make_sgd(self.split.server.parameters())
         self._global_client_state = self.split.client.state_dict()
+        self._client_replicas: list[ClientHalf] | None = None
+
+    def _phase_tasks(
+        self, tasks: list[_ClientPhaseTask]
+    ) -> list[_ClientPhaseTask]:
+        """Attach a client-half model to each lockstep task (see
+        :func:`repro.schemes.split_common.run_group_tasks` for the
+        per-backend ownership rules)."""
+        ex = self.executor
+        if ex.concurrent and ex.shares_address_space:
+            if self._client_replicas is None or len(self._client_replicas) < len(tasks):
+                self.split.client._last_output = None
+                self._client_replicas = [
+                    copy.deepcopy(self.split.client) for _ in tasks
+                ]
+            for task, replica in zip(tasks, self._client_replicas):
+                task.half = replica
+                task.private_replica = True
+        else:
+            self.split.client._last_output = None
+            for task in tasks:
+                task.half = self.split.client
+                task.private_replica = ex.concurrent
+        return tasks
 
     def _run_round(self, round_index: int) -> list[Stage]:
         cfg = self.config
@@ -82,28 +155,38 @@ class ParallelSplitLearning(Scheme):
         training = Stage("parallel_steps")
         client_states: list[dict[str, np.ndarray]] = []
         total_loss = 0.0
+        hp = SplitHyperParams.from_config(cfg)
 
-        # Per-client working copies of the client half (trained in
-        # lockstep; the server half is shared and sees the fused batch).
+        # Per-client working copies of the client half, trained in
+        # lockstep; the server half is shared and sees the fused batch.
+        # Each lockstep phase (client forwards, client backwards) is a set
+        # of independent per-client tasks dispatched on the executor; the
+        # fused server step between them stays in the parent.
         for step in range(cfg.local_steps):
             step_batches = []
             for c in range(self.num_clients):
                 xb, yb = self.client_loaders[c].sample_batch()
                 step_batches.append((xb, yb))
 
-            smashed_per_client = []
-            client_outputs = []
-            for c, (xb, yb) in enumerate(step_batches):
-                state = (
-                    self._global_client_state if step == 0 else client_states[c]
-                )
-                self.split.client.load_state_dict(state)
-                out = self.split.client.forward(Tensor(xb))
-                wire_values = out.data.copy()
-                if pricing.quantize_bits is not None:
-                    wire_values = simulate_wire(wire_values, pricing.quantize_bits)
-                smashed_per_client.append(wire_values)
-                client_outputs.append((c, out, yb))
+            def state_for(c: int) -> dict[str, np.ndarray]:
+                return self._global_client_state if step == 0 else client_states[c]
+
+            # --- parallel client forwards; smashed data crosses the cut --
+            forward_tasks = self._phase_tasks(
+                [
+                    _ClientPhaseTask(client=c, state=state_for(c), xb=xb)
+                    for c, (xb, _) in enumerate(step_batches)
+                ]
+            )
+            smashed_per_client = self.executor.map_groups(
+                _client_forward, forward_tasks
+            )
+            if pricing.quantize_bits is not None:
+                smashed_per_client = [
+                    simulate_wire(values, pricing.quantize_bits)
+                    for values in smashed_per_client
+                ]
+            for c in range(self.num_clients):
                 training.add(
                     f"client-{c}",
                     Activity(
@@ -125,7 +208,7 @@ class ParallelSplitLearning(Scheme):
 
             # --- single server step over the fused batch ----------------
             fused = SmashedBatch(values=np.concatenate(smashed_per_client, axis=0))
-            fused_targets = np.concatenate([yb for _, _, yb in client_outputs])
+            fused_targets = np.concatenate([yb for _, yb in step_batches])
             self._server_opt.zero_grad()
             loss, fused_grad, _ = self.split.server.forward_backward(
                 fused, fused_targets, self._loss_fn
@@ -145,29 +228,25 @@ class ParallelSplitLearning(Scheme):
                 ),
             )
 
-            # --- gradients fan back out; client halves step --------------
-            new_states = []
+            # --- gradients fan back out; client halves step in parallel --
+            backward_tasks = []
             offset = 0
-            for c, out, _ in client_outputs:
-                batch = out.shape[0]
-                grad_slice = fused_grad[offset : offset + batch]
-                offset += batch
-                state = (
-                    self._global_client_state if step == 0 else client_states[c]
+            for c, (xb, _) in enumerate(step_batches):
+                batch = xb.shape[0]
+                backward_tasks.append(
+                    _ClientPhaseTask(
+                        client=c,
+                        state=state_for(c),
+                        xb=xb,
+                        grad=fused_grad[offset : offset + batch],
+                    )
                 )
-                self.split.client.load_state_dict(state)
-                # Re-run the forward to rebuild this client's graph (the
-                # shared working module was overwritten by later clients).
-                # Deterministic layers reproduce the same smashed values;
-                # batch-norm running stats are touched twice per step,
-                # which only perturbs the (aggregated) buffers slightly.
-                xb, _ = step_batches[c]
-                self.split.client.forward_to_smashed(Tensor(xb))
-                opt = self._make_sgd(self.split.client.parameters())
-                opt.zero_grad()
-                self.split.client.backward_from_gradient(grad_slice)
-                opt.step()
-                new_states.append(self.split.client.state_dict())
+                offset += batch
+            client_states = self.executor.map_groups(
+                functools.partial(_client_backward, hp=hp),
+                self._phase_tasks(backward_tasks),
+            )
+            for c in range(self.num_clients):
                 training.add(
                     f"client-{c}",
                     Activity(
@@ -186,7 +265,6 @@ class ParallelSplitLearning(Scheme):
                         detail="backward",
                     ),
                 )
-            client_states = new_states
 
         self._last_train_loss = total_loss / cfg.local_steps
 
@@ -207,7 +285,7 @@ class ParallelSplitLearning(Scheme):
         self._global_client_state = fedavg(
             client_states, self._client_sample_counts()
         )
-        self.split.client.load_state_dict(self._global_client_state)
+        self.split.client.load_state_dict(self._global_client_state, copy=False)
         aggregation.add(
             "edge-server",
             Activity(

@@ -44,6 +44,12 @@ class LatencyModel:
         self.profile = profile
         self.batch_size = batch_size
         self.quantize_bits = quantize_bits
+        # Payload sizes are pure functions of the cut layer but were
+        # recomputed from full profile traversals inside every activity of
+        # every batch of every round — memoize them per cut.
+        self._smashed_nbytes: dict[int, int] = {}
+        self._client_model_nbytes: dict[int, int] = {}
+        self._full_model_nbytes: int | None = None
 
     @property
     def enabled(self) -> bool:
@@ -101,11 +107,17 @@ class LatencyModel:
     def smashed_nbytes(self, cut_layer: int) -> int:
         if not self.enabled:
             return 0
+        cached = self._smashed_nbytes.get(cut_layer)
+        if cached is not None:
+            return cached
         full = self.profile.smashed_bytes(cut_layer, self.batch_size)
         if self.quantize_bits is None:
-            return full
-        scalars = full // WIRE_BYTES_PER_SCALAR
-        return int(np.ceil(scalars * self.quantize_bits / 8)) + 8
+            nbytes = full
+        else:
+            scalars = full // WIRE_BYTES_PER_SCALAR
+            nbytes = int(np.ceil(scalars * self.quantize_bits / 8)) + 8
+        self._smashed_nbytes[cut_layer] = nbytes
+        return nbytes
 
     def uplink_smashed_s(self, client: int, cut_layer: int, bandwidth_hz: float) -> float:
         if not self.enabled:
@@ -122,12 +134,18 @@ class LatencyModel:
     def client_model_nbytes(self, cut_layer: int) -> int:
         if not self.enabled:
             return 0
-        return self.profile.client_model_bytes(cut_layer)
+        cached = self._client_model_nbytes.get(cut_layer)
+        if cached is None:
+            cached = self.profile.client_model_bytes(cut_layer)
+            self._client_model_nbytes[cut_layer] = cached
+        return cached
 
     def full_model_nbytes(self) -> int:
         if not self.enabled:
             return 0
-        return self.profile.total_param_bytes
+        if self._full_model_nbytes is None:
+            self._full_model_nbytes = self.profile.total_param_bytes
+        return self._full_model_nbytes
 
     def uplink_model_s(self, client: int, nbytes: int, bandwidth_hz: float) -> float:
         if not self.enabled or nbytes == 0:

@@ -1,57 +1,157 @@
 """Shared split-training engine used by SL, SplitFed and GSFL.
 
-:func:`split_local_round` executes one client's local training against a
-server-side model half — the paper's §II-B loop: sample batch → client
-forward → (uplink smashed) → server forward/backward → (downlink
-gradient) → client backward → both sides step — and returns the mean loss
-together with the priced activity list for the latency replay.
+Two layers:
+
+* **math** — :func:`split_step_math` executes one client batch through
+  the §II-B handshake (client forward → server forward/backward → client
+  backward, both optimizers stepping).  It touches no shared randomness,
+  so it can run on any :mod:`repro.exec` backend.
+* **pricing** — :func:`price_local_round` builds the per-batch activity
+  list (client compute / uplink / server compute / downlink) for the
+  latency replay.  Pricing draws fading realizations from the wireless
+  system's shared stream, so it always runs in the scheme's (parent)
+  thread, in protocol order.
+
+:func:`split_local_round` composes both for the serial schemes (SL), and
+:func:`train_split_group` is the executor work-function behind GSFL's and
+SplitFed's parallel round engines: it receives a :class:`GroupTask` with
+pre-sampled batches, trains a private :class:`~repro.nn.split.SplitModel`
+replica, and returns the trained halves.
 """
 
 from __future__ import annotations
 
+import functools
+from dataclasses import dataclass, field
+
+import numpy as np
+
 from repro import nn
 from repro.data.dataset import DataLoader
+from repro.exec import Executor
 from repro.nn.quantize import simulate_wire
 from repro.nn.split import SmashedBatch, SplitModel
 from repro.nn.tensor import Tensor
 from repro.schemes.base import Activity
 from repro.schemes.pricing import LatencyModel
 
-__all__ = ["split_local_round"]
+__all__ = [
+    "split_step_math",
+    "price_local_round",
+    "split_local_round",
+    "GroupTask",
+    "GroupResult",
+    "SplitHyperParams",
+    "train_split_group",
+    "run_group_tasks",
+]
 
 
-def split_local_round(
-    client_id: int,
+@dataclass(frozen=True)
+class SplitHyperParams:
+    """Per-round training hyper-parameters shipped to group workers."""
+
+    lr: float
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    quantize_bits: int | None = None
+
+    @classmethod
+    def from_config(cls, config: "object") -> "SplitHyperParams":
+        """Extract the worker-relevant knobs from a ``SchemeConfig``."""
+        return cls(
+            lr=config.lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+            quantize_bits=config.quantize_bits,
+        )
+
+
+@dataclass
+class GroupTask:
+    """One group's (or client's) independent share of a training round.
+
+    ``batches`` holds the pre-sampled mini-batches — ``batches[m][s]`` is
+    member ``m``'s batch for local step ``s`` — so workers consume no
+    shared RNG stream and every executor backend replays identical data.
+    ``split`` is the worker's model: the scheme passes its own
+    :class:`SplitModel` for serial execution (reused task after task), a
+    private replica per task for threads, and relies on pickling to copy
+    it for processes.  ``client_state``/``server_state`` are the global
+    halves to load before training; ``None`` means ``split`` already
+    carries them (the private-replica backends clone/pickle the parent's
+    already-loaded model, so re-shipping the state dicts would double the
+    per-task payload for nothing).
+    """
+
+    index: int
+    members: list[int]
+    batches: list[list[tuple[np.ndarray, np.ndarray]]]
+    client_state: "dict[str, np.ndarray] | None"
+    server_state: "dict[str, np.ndarray] | None"
+    weight: float
+    split: SplitModel = field(repr=False, default=None)  # type: ignore[assignment]
+    #: True when ``split`` is private to this task (skip defensive copies)
+    private_replica: bool = True
+
+
+@dataclass
+class GroupResult:
+    """Trained halves + bookkeeping returned by :func:`train_split_group`."""
+
+    index: int
+    client_state: dict[str, np.ndarray]
+    server_state: dict[str, np.ndarray]
+    weight: float
+    loss_sum: float
+    num_members: int
+
+
+def split_step_math(
     split: SplitModel,
     client_opt: nn.Optimizer,
     server_opt: nn.Optimizer,
-    loader: DataLoader,
+    xb: np.ndarray,
+    yb: np.ndarray,
     loss_fn: object,
+    quantize_bits: int | None,
+) -> float:
+    """One batch through the split handshake; returns the batch loss."""
+    smashed = split.client.forward_to_smashed(Tensor(xb))
+    if quantize_bits is not None:
+        # The wire carries quantized activations; the server trains on
+        # exactly what survived quantization.
+        smashed = SmashedBatch(values=simulate_wire(smashed.values, quantize_bits))
+
+    server_opt.zero_grad()
+    loss_value, smashed_grad, _ = split.server.forward_backward(smashed, yb, loss_fn)
+    server_opt.step()
+    if quantize_bits is not None:
+        smashed_grad = simulate_wire(smashed_grad, quantize_bits)
+
+    client_opt.zero_grad()
+    split.client.backward_from_gradient(smashed_grad)
+    client_opt.step()
+    return loss_value
+
+
+def price_local_round(
+    client_id: int,
+    cut: int,
     local_steps: int,
     pricing: LatencyModel,
     bandwidth_hz: float,
-) -> tuple[float, list[Activity]]:
-    """One client's split-training round.
+) -> list[Activity]:
+    """Priced activity list for one client's local round (no training).
 
-    Returns ``(mean_batch_loss, activities)`` where activities alternate
-    client compute / uplink / server compute / downlink per batch.
+    Activities alternate client compute / uplink / server compute /
+    downlink / client compute per batch, in protocol order — the order
+    matters because transmission pricing consumes the channel's shared
+    fading stream.
     """
-    cut = split.cut_layer
     actor = f"client-{client_id}"
     activities: list[Activity] = []
-    total_loss = 0.0
-
     for _ in range(local_steps):
-        xb, yb = loader.sample_batch()
-
-        # --- client forward, smashed data crosses the cut -------------
-        smashed = split.client.forward_to_smashed(Tensor(xb))
-        if pricing.quantize_bits is not None:
-            # The wire carries quantized activations; the server trains on
-            # exactly what survived quantization.
-            smashed = SmashedBatch(
-                values=simulate_wire(smashed.values, pricing.quantize_bits)
-            )
         activities.append(
             Activity(
                 pricing.client_forward_s(client_id, cut),
@@ -68,13 +168,6 @@ def split_local_round(
                 nbytes=pricing.smashed_nbytes(cut),
             )
         )
-
-        # --- server forward + backward, gradient comes back -----------
-        server_opt.zero_grad()
-        loss_value, smashed_grad, _ = split.server.forward_backward(smashed, yb, loss_fn)
-        server_opt.step()
-        if pricing.quantize_bits is not None:
-            smashed_grad = simulate_wire(smashed_grad, pricing.quantize_bits)
         activities.append(
             Activity(
                 pricing.server_split_step_s(cut),
@@ -91,11 +184,6 @@ def split_local_round(
                 nbytes=pricing.smashed_nbytes(cut),
             )
         )
-
-        # --- client backward from the received gradient ---------------
-        client_opt.zero_grad()
-        split.client.backward_from_gradient(smashed_grad)
-        client_opt.step()
         activities.append(
             Activity(
                 pricing.client_backward_s(client_id, cut),
@@ -104,7 +192,120 @@ def split_local_round(
                 detail="backward",
             )
         )
+    return activities
 
-        total_loss += loss_value
 
+def split_local_round(
+    client_id: int,
+    split: SplitModel,
+    client_opt: nn.Optimizer,
+    server_opt: nn.Optimizer,
+    loader: DataLoader,
+    loss_fn: object,
+    local_steps: int,
+    pricing: LatencyModel,
+    bandwidth_hz: float,
+) -> tuple[float, list[Activity]]:
+    """One client's split-training round (math + pricing, in-line).
+
+    Returns ``(mean_batch_loss, activities)`` where activities alternate
+    client compute / uplink / server compute / downlink per batch.
+    """
+    total_loss = 0.0
+    for _ in range(local_steps):
+        xb, yb = loader.sample_batch()
+        total_loss += split_step_math(
+            split, client_opt, server_opt, xb, yb, loss_fn,
+            pricing.quantize_bits,
+        )
+    activities = price_local_round(
+        client_id, split.cut_layer, local_steps, pricing, bandwidth_hz
+    )
     return total_loss / local_steps, activities
+
+
+def train_split_group(task: GroupTask, hp: SplitHyperParams) -> GroupResult:
+    """Executor work-function: train one group's pipeline sequentially.
+
+    Loads the global halves into the task's split model, builds fresh SGD
+    optimizers, and runs every member's pre-sampled batches through
+    :func:`split_step_math` in relay order.  Pure math — no pricing, no
+    shared RNG — so results are bitwise identical on every backend.
+    """
+    split = task.split
+    if task.client_state is not None:
+        split.client.load_state_dict(task.client_state)
+    if task.server_state is not None:
+        split.server.load_state_dict(task.server_state)
+    client_opt = nn.SGD(
+        split.client.parameters(),
+        lr=hp.lr,
+        momentum=hp.momentum,
+        weight_decay=hp.weight_decay,
+    )
+    server_opt = nn.SGD(
+        split.server.parameters(),
+        lr=hp.lr,
+        momentum=hp.momentum,
+        weight_decay=hp.weight_decay,
+    )
+    loss_fn = nn.CrossEntropyLoss()
+
+    loss_sum = 0.0
+    for member_batches in task.batches:
+        member_loss = 0.0
+        for xb, yb in member_batches:
+            member_loss += split_step_math(
+                split, client_opt, server_opt, xb, yb, loss_fn, hp.quantize_bits
+            )
+        loss_sum += member_loss / len(member_batches)
+
+    # A private replica is discarded after this call (and pickling copies
+    # process results anyway), so exporting views is safe; the substrate
+    # never mutates parameter/buffer arrays in place (updates rebind).
+    copy = not task.private_replica
+    return GroupResult(
+        index=task.index,
+        client_state=split.client.state_dict(copy=copy),
+        server_state=split.server.state_dict(copy=copy),
+        weight=task.weight,
+        loss_sum=loss_sum,
+        num_members=len(task.members),
+    )
+
+
+def run_group_tasks(
+    tasks: list[GroupTask],
+    executor: Executor,
+    split: SplitModel,
+    hp: SplitHyperParams,
+) -> list[GroupResult]:
+    """Dispatch group tasks on ``executor``; results in task order.
+
+    Model ownership per backend (``split`` must already hold the round's
+    global halves — the schemes maintain that invariant by loading the
+    aggregated state after every round):
+
+    * serial — every task reuses ``split``; a task must reload the
+      global states because the previous task trained the same module;
+    * thread — each task gets a private :meth:`SplitModel.clone` replica,
+      which already carries the global weights (states not re-shipped);
+    * process — tasks reference ``split`` and pickling gives each worker
+      its own pre-loaded copy for free (states not re-shipped).
+    """
+    if executor.concurrent and executor.shares_address_space:
+        for task in tasks:
+            task.split = split.clone()
+            task.client_state = task.server_state = None
+            task.private_replica = True
+    elif executor.concurrent:
+        split.client._last_output = None  # keep pickled payloads lean
+        for task in tasks:
+            task.split = split
+            task.client_state = task.server_state = None
+            task.private_replica = True
+    else:
+        for task in tasks:
+            task.split = split
+            task.private_replica = False
+    return executor.map_groups(functools.partial(train_split_group, hp=hp), tasks)

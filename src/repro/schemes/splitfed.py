@@ -14,14 +14,17 @@ groups; convergence-wise it matches FL's averaging frequency (every
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import nn
 from repro.core.aggregation import fedavg
 from repro.nn.split import split_model
 from repro.schemes.base import Activity, Scheme, Stage
 from repro.schemes.pricing import LatencyModel
-from repro.schemes.split_common import split_local_round
+from repro.schemes.split_common import (
+    GroupTask,
+    SplitHyperParams,
+    price_local_round,
+    run_group_tasks,
+)
 
 __all__ = ["SplitFedLearning"]
 
@@ -50,18 +53,14 @@ class SplitFedLearning(Scheme):
         share = pricing.total_bandwidth_hz / self.num_clients
         client_model_bytes = pricing.client_model_nbytes(self.cut_layer)
 
+        # Parent thread: sample every client's batches and price every
+        # transmission (shared fading stream) in protocol order, then hand
+        # the N independent client pipelines to the executor — SplitFed is
+        # GSFL with singleton groups, and reuses the same round engine.
         training = Stage("parallel_training")
-        client_states: list[dict[str, np.ndarray]] = []
-        server_states: list[dict[str, np.ndarray]] = []
-        total_loss = 0.0
-
+        tasks: list[GroupTask] = []
         for client in range(self.num_clients):
             track = f"client-{client}"
-            self.split.client.load_state_dict(self._global_client_state)
-            self.split.server.load_state_dict(self._global_server_state)
-            client_opt = self._make_sgd(self.split.client.parameters())
-            server_opt = self._make_sgd(self.split.server.parameters())
-
             training.add(
                 track,
                 Activity(
@@ -71,19 +70,16 @@ class SplitFedLearning(Scheme):
                     nbytes=client_model_bytes,
                 ),
             )
-            loss, activities = split_local_round(
-                client_id=client,
-                split=self.split,
-                client_opt=client_opt,
-                server_opt=server_opt,
-                loader=self.client_loaders[client],
-                loss_fn=self._loss_fn,
-                local_steps=self.config.local_steps,
-                pricing=pricing,
-                bandwidth_hz=share,
+            batches = [
+                self.client_loaders[client].sample_batch()
+                for _ in range(self.config.local_steps)
+            ]
+            training.extend(
+                track,
+                price_local_round(
+                    client, self.cut_layer, self.config.local_steps, pricing, share
+                ),
             )
-            total_loss += loss
-            training.extend(track, activities)
             training.add(
                 track,
                 Activity(
@@ -93,17 +89,28 @@ class SplitFedLearning(Scheme):
                     nbytes=client_model_bytes,
                 ),
             )
-            client_states.append(self.split.client.state_dict())
-            server_states.append(self.split.server.state_dict())
+            tasks.append(
+                GroupTask(
+                    index=client,
+                    members=[client],
+                    batches=[batches],
+                    client_state=self._global_client_state,
+                    server_state=self._global_server_state,
+                    weight=float(len(self.client_datasets[client])),
+                )
+            )
 
-        self._last_train_loss = total_loss / self.num_clients
+        results = run_group_tasks(
+            tasks, self.executor, self.split, SplitHyperParams.from_config(self.config)
+        )
+        self._last_train_loss = sum(r.loss_sum for r in results) / self.num_clients
 
         aggregation = Stage("aggregation")
         weights = self._client_sample_counts()
-        self._global_client_state = fedavg(client_states, weights)
-        self._global_server_state = fedavg(server_states, weights)
-        self.split.client.load_state_dict(self._global_client_state)
-        self.split.server.load_state_dict(self._global_server_state)
+        self._global_client_state = fedavg([r.client_state for r in results], weights)
+        self._global_server_state = fedavg([r.server_state for r in results], weights)
+        self.split.client.load_state_dict(self._global_client_state, copy=False)
+        self.split.server.load_state_dict(self._global_server_state, copy=False)
         aggregation.add(
             "edge-server",
             Activity(

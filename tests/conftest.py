@@ -10,6 +10,21 @@ from repro.data.dataset import ArrayDataset
 from repro.experiments.scenario import fast_scenario
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _float64_substrate():
+    """Pin the legacy unit-test suite to double precision.
+
+    The suite was written against the original float64 substrate: numeric
+    gradient checks need double precision, and the golden expectations
+    (equivalence tolerances, trajectory comparisons) are float64 numerics.
+    The float32 default and dtype switching are covered explicitly by
+    ``tests/nn/test_dtype.py`` and the executor-parity tests.
+    """
+    previous = nn.set_default_dtype(np.float64)
+    yield
+    nn.set_default_dtype(previous)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(0)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.exec import make_executor
 from repro.experiments.runner import make_scheme
 from repro.experiments.scenario import fast_scenario
 from repro.experiments.sweep import ParameterSweep, SweepAxis
@@ -69,6 +70,21 @@ class TestSweep:
         text = ParameterSweep.table(axis, rows)
         assert "num_groups" in text and "final_acc" in text
 
+    @pytest.mark.parametrize("kind", ["thread", "process"])
+    def test_executor_fanout_matches_serial(self, kind):
+        """Each sweep point builds its own independently seeded scenario,
+        so fanning points out cannot change any result."""
+        axis = SweepAxis("num_groups", [1, 3])
+        serial_rows = ParameterSweep(_scenario_factory).run("GSFL", 1, axis)
+        with make_executor(kind, 2) as ex:
+            fanned_rows = ParameterSweep(_scenario_factory).run(
+                "GSFL", 1, axis, executor=ex
+            )
+        for a, b in zip(serial_rows, fanned_rows):
+            assert a.value == b.value
+            assert a.final_accuracy == b.final_accuracy
+            assert a.total_latency_s == b.total_latency_s
+
 
 class TestAggregateMetric:
     def test_mean_std(self):
@@ -127,6 +143,16 @@ class TestRunMultiseed:
 
         out = run_multiseed(experiment, seeds=[0, 1])
         assert 0.0 <= out["final_accuracy"].mean <= 1.0
+
+    def test_executor_fanout_matches_serial(self):
+        def experiment(seed: int) -> TrainingHistory:
+            built = fast_scenario(with_wireless=False, seed=seed).build()
+            return make_scheme("GSFL", built).run(1)
+
+        serial = run_multiseed(experiment, seeds=[0, 1])
+        with make_executor("thread", 2) as ex:
+            fanned = run_multiseed(experiment, seeds=[0, 1], executor=ex)
+        assert serial["final_accuracy"].values == fanned["final_accuracy"].values
 
 
 class TestMeanCurve:

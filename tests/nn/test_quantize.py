@@ -55,6 +55,16 @@ class TestQuantizeRoundtrip:
         q = quantize_uniform(x, 8)
         assert dequantize(q).size == 0
 
+    def test_negative_zero_point_not_mistaken_for_constant(self):
+        """Regression: a positive-min tensor can legitimately round to
+        zero_point == -1, which the old constant-tensor sentinel hijacked
+        (dequantize returned a constant array)."""
+        x = np.array([1.0, 12.0])
+        q = quantize_uniform(x, 4)
+        assert q.zero_point == -1 and not q.constant
+        step = (12.0 - 1.0) / 15
+        assert np.abs(dequantize(q) - x).max() <= step / 2 + 1e-9
+
     def test_invalid_bits(self):
         with pytest.raises(ValueError):
             quantize_uniform(np.ones(3), 0)
