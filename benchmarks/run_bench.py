@@ -1,16 +1,20 @@
-"""Substrate performance tracker: dump op → median seconds as JSON.
+"""Substrate + runtime performance tracker: dump op → median seconds as JSON.
 
 Runs the hot-path micro-operations (the same bodies as
 ``test_microbench_nn.py``) under the current substrate settings and
 writes ``BENCH_substrate.json``, so the perf trajectory is tracked in-repo
-from PR to PR::
+from PR to PR; also runs the event-driven runtime scenarios (static vs
+contended medium, homogeneous vs heterogeneous fleets) and writes
+``BENCH_runtime.json`` with the measured latency divergence::
 
     PYTHONPATH=src python benchmarks/run_bench.py                 # float32
+    PYTHONPATH=src python benchmarks/run_bench.py --quick         # CI smoke
     PYTHONPATH=src python benchmarks/run_bench.py --dtype float64
     PYTHONPATH=src python benchmarks/run_bench.py --compare old.json
 
 ``--compare`` embeds per-op speedups against a previously dumped file
-(e.g. one generated from the seed commit) into the output.
+(e.g. one generated from the seed commit) into the output; ``--quick``
+shrinks timing budgets for the non-gating CI smoke step.
 """
 
 from __future__ import annotations
@@ -122,7 +126,28 @@ def bench_des_replay() -> "callable":
                     for i in range(100)
                 ],
             )
-        return replay_stages([stage], None, 0, 0.0)
+        return replay_stages([stage])
+
+    return op
+
+
+def bench_fair_share_link() -> "callable":
+    """Contended-medium churn: 60 staggered flows joining and leaving."""
+    from repro.sim.engine import Environment
+    from repro.sim.resources import FairShareLink
+
+    def op():
+        env = Environment()
+        link = FairShareLink(env, capacity_bps=1e6)
+
+        def sender(start, bits):
+            yield env.timeout(start)
+            yield link.transfer(bits)
+
+        for i in range(60):
+            env.process(sender(0.01 * i, 1e4 + 100.0 * i))
+        env.run()
+        return env.now
 
     return op
 
@@ -147,7 +172,57 @@ OPS: dict[str, "callable"] = {
     "fedavg_aggregation": bench_fedavg_aggregation,
     "fedavg_flat_30": bench_fedavg_flat_30,
     "des_replay": bench_des_replay,
+    "fair_share_link": bench_fair_share_link,
 }
+
+
+def runtime_report(quick: bool) -> dict:
+    """Event-driven runtime scenarios → the BENCH_runtime.json payload.
+
+    Measures the contention-aware medium against the static-subchannel
+    model: with homogeneous devices the group pipelines stay in near
+    lockstep and the two agree closely; with a heterogeneous fleet the
+    pipelines drift, idle subchannels get re-allocated, and the
+    DES-resolved latency measurably diverges from the static analytic
+    numbers.
+    """
+    import time
+    from dataclasses import replace
+
+    from repro.experiments.runner import make_scheme
+    from repro.experiments.scenario import fast_scenario
+
+    rounds = 1 if quick else 3
+    report: dict = {"rounds": rounds, "scheme": "GSFL", "scenarios": {}}
+
+    def run(medium: str, het: float):
+        scenario = fast_scenario(with_wireless=True)
+        scenario.wireless = replace(scenario.wireless, heterogeneity=het)
+        scenario.scheme = replace(scenario.scheme, medium=medium)
+        scheme = make_scheme("GSFL", scenario.build())
+        t0 = time.perf_counter()
+        history = scheme.run(rounds)
+        wall = time.perf_counter() - t0
+        return scheme, history, wall
+
+    for het in (0.0, 1.0):
+        static_scheme, static_hist, static_wall = run("static", het)
+        cont_scheme, cont_hist, cont_wall = run("contended", het)
+        static_lat = static_hist.total_latency_s
+        cont_lat = cont_hist.total_latency_s
+        report["scenarios"][f"heterogeneity_{het:g}"] = {
+            "static_latency_s": static_lat,
+            "contended_latency_s": cont_lat,
+            "divergence": cont_lat / static_lat - 1.0,
+            "analytic_latency_s": sum(t.analytic_s for t in static_scheme.round_timings),
+            "lower_bound_s": sum(t.lower_bound_s for t in static_scheme.round_timings),
+            "host_wall_static_s": round(static_wall, 4),
+            "host_wall_contended_s": round(cont_wall, 4),
+        }
+        label = f"gsfl het={het:g}"
+        print(f"{label:>24}: static {static_lat:8.3f} s | contended {cont_lat:8.3f} s "
+              f"({(cont_lat / static_lat - 1.0) * 100:+.2f}%)")
+    return report
 
 # Whole-round ops need the executor subsystem; skipped gracefully when the
 # script is pointed at an older checkout for baseline comparison.
@@ -162,6 +237,11 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dtype", choices=("float32", "float64"), default="float32")
     parser.add_argument("-o", "--output", default="BENCH_substrate.json")
+    parser.add_argument("--runtime-output", default="BENCH_runtime.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrink timing budgets (CI smoke step)",
+    )
     parser.add_argument(
         "--compare", default=None,
         help="previous run_bench JSON; speedups vs it are embedded",
@@ -180,18 +260,23 @@ def main(argv: list[str] | None = None) -> int:
     except AttributeError:  # pre-dtype substrate (seed baseline runs)
         dtype = "float64"
 
+    micro_time = 0.1 if args.quick else 0.5
+    round_time = 0.2 if args.quick else 1.0
     results: dict[str, dict] = {}
     for name, make_op in OPS.items():
-        results[name] = _timeit(make_op())
+        results[name] = _timeit(make_op(), min_time_s=micro_time)
         print(f"{name:>24}: {results[name]['median_s'] * 1e3:9.3f} ms "
               f"({results[name]['rounds']} rounds)")
     for name, make_op in ROUND_OPS.items():
+        if args.quick and name != "gsfl_round_serial":
+            continue
         try:
             op = make_op()
         except ImportError:
             print(f"{name:>24}: skipped (no repro.exec in this checkout)")
             continue
-        results[name] = _timeit(op, min_rounds=3, min_time_s=1.0)
+        results[name] = _timeit(op, min_rounds=2 if args.quick else 3,
+                                min_time_s=round_time)
         print(f"{name:>24}: {results[name]['median_s'] * 1e3:9.3f} ms "
               f"({results[name]['rounds']} rounds)")
 
@@ -221,6 +306,12 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(out, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.output}")
+
+    runtime_out = {"meta": out["meta"], **runtime_report(args.quick)}
+    with open(args.runtime_output, "w") as fh:
+        json.dump(runtime_out, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.runtime_output}")
     return 0
 
 

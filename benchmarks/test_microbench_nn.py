@@ -130,7 +130,7 @@ def test_des_replay_throughput(benchmark):
                 f"group-{g}",
                 [Activity(0.01 * (i % 7 + 1), "client_compute", f"g{g}") for i in range(100)],
             )
-        return replay_stages([stage], None, 0, 0.0)
+        return replay_stages([stage])
 
     total = benchmark(build_and_replay)
     assert total > 0

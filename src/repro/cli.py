@@ -5,6 +5,9 @@ Usage::
     python -m repro.cli fig2a --rounds 20 --train-per-class 12
     python -m repro.cli fig2b --rounds 26 --target 0.75
     python -m repro.cli run --scheme GSFL --rounds 10 --groups 6
+    python -m repro.cli run --scheme GSFL --medium contended --heterogeneity 0.8
+    python -m repro.cli run --scheme FL --participation 0.5 --straggler-rate 0.2
+    python -m repro.cli run --scheme GSFL --rounds 3 --trace-out trace.jsonl
     python -m repro.cli cuts
     python -m repro.cli info
 
@@ -16,13 +19,16 @@ runs are directly comparable.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.exec import EXECUTOR_KINDS, Executor, make_executor
+from repro.experiments.dynamics import DynamicsConfig
 from repro.experiments.figures import run_fig2a, run_fig2b
 from repro.experiments.runner import SCHEME_REGISTRY, make_scheme
 from repro.experiments.scenario import fast_scenario, paper_scenario
 from repro.nn.dtype import set_default_dtype
+from repro.schemes.base import MEDIUM_POLICIES
 
 __all__ = ["main", "build_parser"]
 
@@ -65,6 +71,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="compute dtype for models and training (float32 is the "
         "fast default; float64 reproduces legacy double-precision runs)",
     )
+    common.add_argument(
+        "--medium",
+        choices=MEDIUM_POLICIES,
+        default="static",
+        help="wireless medium share policy: 'static' resolves every "
+        "transmission at its nominal subchannel, 'contended' re-allocates "
+        "bandwidth among instantaneously active transmitters",
+    )
+    common.add_argument(
+        "--heterogeneity", type=float, default=None,
+        help="log-normal sigma of the client compute-speed spread "
+        "(0 = identical devices)",
+    )
 
     p2a = sub.add_parser("fig2a", parents=[common], help="accuracy vs rounds (Fig 2a)")
     p2a.add_argument("--rounds", type=int, default=20)
@@ -81,6 +100,32 @@ def build_parser() -> argparse.ArgumentParser:
     prun.add_argument("--cut-layer", type=int, default=None)
     prun.add_argument("--quantize-bits", type=int, default=None)
     prun.add_argument("--failure-rate", type=float, default=0.0)
+    prun.add_argument(
+        "--participation", type=float, default=1.0,
+        help="fraction of available clients sampled each round",
+    )
+    prun.add_argument(
+        "--straggler-rate", type=float, default=0.0,
+        help="per-round probability a participating client straggles",
+    )
+    prun.add_argument(
+        "--straggler-slowdown", type=float, default=4.0,
+        help="multiplicative compute slowdown of a straggler",
+    )
+    prun.add_argument(
+        "--churn-uptime", type=float, default=None,
+        help="mean client up-window in seconds (enables availability churn; "
+        "requires --churn-downtime)",
+    )
+    prun.add_argument(
+        "--churn-downtime", type=float, default=None,
+        help="mean client down-window in seconds",
+    )
+    prun.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the full per-activity trace plus per-client energy "
+        "summary as JSONL",
+    )
 
     sub.add_parser("cuts", parents=[common], help="cut-layer latency sweep")
     sub.add_parser("info", parents=[common], help="print the scenario summary")
@@ -88,15 +133,105 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _scenario(args: argparse.Namespace):
+    from dataclasses import replace
+
     if args.scale == "fast":
         scenario = fast_scenario(with_wireless=True, seed=args.seed)
     else:
         scenario = paper_scenario(with_wireless=True, seed=args.seed)
     if args.train_per_class is not None:
-        from dataclasses import replace
-
         scenario.dataset = replace(scenario.dataset, train_per_class=args.train_per_class)
+    if args.medium != "static":
+        scenario.scheme = replace(scenario.scheme, medium=args.medium)
+    if args.heterogeneity is not None and scenario.wireless is not None:
+        scenario.wireless = replace(scenario.wireless, heterogeneity=args.heterogeneity)
     return scenario
+
+
+def _dynamics_config(args: argparse.Namespace) -> DynamicsConfig | None:
+    """Build a DynamicsConfig from `run` flags; None when all defaults.
+
+    Any flag that deviates from its default reaches DynamicsConfig so its
+    validation fires (out-of-range participation, partial churn windows)
+    instead of being silently dropped.
+    """
+    if (
+        args.participation == 1.0
+        and args.straggler_rate == 0.0
+        and args.straggler_slowdown == 4.0
+        and args.churn_uptime is None
+        and args.churn_downtime is None
+    ):
+        return None
+    return DynamicsConfig(
+        participation=args.participation,
+        churn_uptime_s=args.churn_uptime,
+        churn_downtime_s=args.churn_downtime,
+        straggler_rate=args.straggler_rate,
+        straggler_slowdown=args.straggler_slowdown,
+        seed=args.seed,
+    )
+
+
+def _export_trace(path: str, scheme: "object") -> None:
+    """Write the run's per-activity trace + energy summary as JSONL."""
+    from repro.wireless.energy import EnergyModel, EnergyReport
+
+    recorder = scheme.recorder
+    total_span = scheme.runtime.now
+    energy = EnergyModel()
+    with open(path, "w") as fh:
+        def emit(row: dict) -> None:
+            fh.write(json.dumps(row) + "\n")
+
+        emit(
+            {
+                "type": "meta",
+                "scheme": scheme.name,
+                "rounds": len(scheme.round_timings),
+                "medium": scheme.config.medium,
+                "num_clients": scheme.num_clients,
+                "total_latency_s": total_span,
+                "events": len(recorder),
+            }
+        )
+        for row in recorder.to_rows():
+            emit(row)
+        for t in scheme.round_timings:
+            emit(
+                {
+                    "type": "round_timing",
+                    "round": t.round_index,
+                    "des_s": t.des_s,
+                    "analytic_s": t.analytic_s,
+                    "lower_bound_s": t.lower_bound_s,
+                }
+            )
+        reports = energy.per_client_energy(recorder, total_span)
+        fleet = sum(reports.values(), EnergyReport.zero())
+        for actor, report in sorted(reports.items()):
+            emit(
+                {
+                    "type": "energy",
+                    "actor": actor,
+                    "tx_j": report.tx_j,
+                    "rx_j": report.rx_j,
+                    "compute_j": report.compute_j,
+                    "idle_j": report.idle_j,
+                    "total_j": report.total_j,
+                }
+            )
+        emit(
+            {
+                "type": "energy_summary",
+                "tx_j": fleet.tx_j,
+                "rx_j": fleet.rx_j,
+                "compute_j": fleet.compute_j,
+                "idle_j": fleet.idle_j,
+                "total_j": fleet.total_j,
+            }
+        )
+    print(f"wrote trace: {path}")
 
 
 def _executor(args: argparse.Namespace) -> Executor:
@@ -140,6 +275,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from dataclasses import replace
 
         scenario.scheme = replace(scenario.scheme, quantize_bits=args.quantize_bits)
+    scenario.dynamics = _dynamics_config(args)
     built = scenario.build()
     with _executor(args) as ex:
         overrides: dict = {"executor": ex}
@@ -153,6 +289,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{p.test_accuracy:>9.3f}")
     print()
     print(history.summary())
+    if args.trace_out:
+        _export_trace(args.trace_out, scheme)
     return 0
 
 

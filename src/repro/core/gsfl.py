@@ -146,14 +146,15 @@ class GroupSplitFederatedLearning(Scheme):
     def _run_round(self, round_index: int) -> list[Stage]:
         pricing = self._pricing
         client_model_bytes = pricing.client_model_nbytes(self.cut_layer)
+        participants = set(self._round_participants())
 
         # ------------------------------------------------------------------
         # Phase 1 (parent thread, protocol order): draw everything that
         # consumes shared RNG streams — failure injection, per-client data
-        # batches, and channel-fading-priced activities — and package each
-        # surviving group's work as an independent task.  Groups share no
-        # training state within a round, so the tasks can then run on any
-        # executor backend with bitwise-identical results.
+        # batches, and channel-fading demand realizations — and package
+        # each surviving group's work as an independent task.  Groups share
+        # no training state within a round, so the tasks can then run on
+        # any executor backend with bitwise-identical results.
         # ------------------------------------------------------------------
         training = Stage("group_training")
         tasks: list[GroupTask] = []
@@ -162,19 +163,21 @@ class GroupSplitFederatedLearning(Scheme):
             track = f"group-{g}"
             bandwidth = self.bandwidth_shares[g]
 
-            # Failure injection: unavailable clients drop out of this
-            # round's relay; the client-side model hops past them.
+            # Population dynamics first (churn windows / participation),
+            # then per-round failure injection: unavailable clients drop
+            # out of this round's relay; the model hops past them.
+            present = [c for c in all_members if c in participants]
             if self.failure_rate > 0.0:
                 members = [
                     c
-                    for c in all_members
+                    for c in present
                     if self._failure_rng.random() >= self.failure_rate
                 ]
-                self.skipped_clients_total += len(all_members) - len(members)
-                if not members:
-                    continue  # whole group lost this round
+                self.skipped_clients_total += len(present) - len(members)
             else:
-                members = all_members
+                members = present
+            if not members:
+                continue  # whole group lost this round
 
             batches = []
             for position, client in enumerate(members):
@@ -183,7 +186,7 @@ class GroupSplitFederatedLearning(Scheme):
                     training.add(
                         track,
                         Activity(
-                            pricing.downlink_model_s(
+                            pricing.downlink_model_demand(
                                 client, client_model_bytes, bandwidth
                             ),
                             "model_distribution",
@@ -213,11 +216,11 @@ class GroupSplitFederatedLearning(Scheme):
                     training.add(
                         track,
                         Activity(
-                            pricing.uplink_model_s(
-                                client, client_model_bytes, bandwidth
-                            )
-                            + pricing.downlink_model_s(
-                                members[position + 1], client_model_bytes, bandwidth
+                            pricing.relay_model_demand(
+                                client,
+                                members[position + 1],
+                                client_model_bytes,
+                                bandwidth,
                             ),
                             "model_relay",
                             f"client-{client}",
@@ -229,7 +232,7 @@ class GroupSplitFederatedLearning(Scheme):
                     training.add(
                         track,
                         Activity(
-                            pricing.uplink_model_s(
+                            pricing.uplink_model_demand(
                                 client, client_model_bytes, bandwidth
                             ),
                             "model_upload",
@@ -285,7 +288,7 @@ class GroupSplitFederatedLearning(Scheme):
             aggregation.add(
                 "edge-server",
                 Activity(
-                    pricing.aggregation_s(
+                    pricing.aggregation_demand(
                         len(results), self.model.num_parameters()
                     ),
                     "aggregation",

@@ -1,5 +1,7 @@
-"""``repro.experiments`` — scenario presets and figure-regeneration harnesses."""
+"""``repro.experiments`` — scenario presets, population dynamics and
+figure-regeneration harnesses."""
 
+from repro.experiments.dynamics import ClientDynamics, DynamicsConfig, RoundConditions
 from repro.experiments.figures import Fig2aResult, Fig2bResult, run_fig2a, run_fig2b
 from repro.experiments.runner import SCHEME_REGISTRY, make_scheme, run_schemes
 from repro.experiments.scenario import (
@@ -13,6 +15,9 @@ from repro.experiments.sweep import ParameterSweep, SweepAxis, SweepRow
 __all__ = [
     "ExperimentScenario",
     "BuiltScenario",
+    "DynamicsConfig",
+    "ClientDynamics",
+    "RoundConditions",
     "paper_scenario",
     "fast_scenario",
     "SCHEME_REGISTRY",

@@ -1,0 +1,176 @@
+"""Client-population dynamics: churn, partial participation, stragglers.
+
+The paper evaluates a static fleet; real edge deployments are anything
+but.  This layer injects three orthogonal disturbances into any scheme,
+resolved against the runtime's *absolute* clock so a long round genuinely
+sees more churn than a short one:
+
+* **availability churn** — each client alternates between up and down
+  windows (exponential on/off renewal process, frozen per seed); clients
+  that are down when a round starts sit the round out;
+* **partial participation** — of the available clients, only a sampled
+  fraction joins each round (the classic cross-device FL setting);
+* **straggler injection** — participating clients are slowed by a
+  multiplicative factor on their *compute* demands with some
+  probability.  Stragglers change timing only — the trained weights are
+  bitwise unaffected, which keeps the learning/timing decoupling honest
+  and testable.
+
+All draws flow through spawned per-purpose generators, so a scenario's
+dynamics replay identically for a fixed seed regardless of scheme.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["DynamicsConfig", "RoundConditions", "ClientDynamics"]
+
+
+@dataclass
+class DynamicsConfig:
+    """Declarative description of client-population dynamics.
+
+    Defaults are the identity: everyone always available, everyone
+    participates, nobody straggles.
+    """
+
+    participation: float = 1.0
+    churn_uptime_s: float | None = None
+    churn_downtime_s: float | None = None
+    straggler_rate: float = 0.0
+    straggler_slowdown: float = 4.0
+    min_participants: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.participation <= 1.0:
+            raise ValueError(
+                f"participation must be in (0, 1], got {self.participation}"
+            )
+        if (self.churn_uptime_s is None) != (self.churn_downtime_s is None):
+            raise ValueError("churn uptime and downtime must be given together")
+        if self.churn_uptime_s is not None:
+            check_positive("churn_uptime_s", self.churn_uptime_s)
+            check_positive("churn_downtime_s", self.churn_downtime_s)
+        if not 0.0 <= self.straggler_rate <= 1.0:
+            raise ValueError(
+                f"straggler_rate must be in [0, 1], got {self.straggler_rate}"
+            )
+        if self.straggler_slowdown < 1.0:
+            raise ValueError(
+                f"straggler_slowdown must be >= 1, got {self.straggler_slowdown}"
+            )
+        check_non_negative("min_participants", self.min_participants)
+
+    @property
+    def has_churn(self) -> bool:
+        return self.churn_uptime_s is not None
+
+
+@dataclass(frozen=True)
+class RoundConditions:
+    """One round's resolved disturbances."""
+
+    round_index: int
+    available: tuple[int, ...]
+    participants: tuple[int, ...]
+    slowdowns: dict[int, float] = field(default_factory=dict)
+
+
+class ClientDynamics:
+    """Stateful per-run realization of a :class:`DynamicsConfig`.
+
+    :meth:`begin_round` must be called per round, in order — the base
+    scheme loop owns that contract (including the one re-resolution it
+    performs after waiting out an all-down churn window) — so the random
+    streams are consumed deterministically.
+    """
+
+    def __init__(self, config: DynamicsConfig, num_clients: int) -> None:
+        check_positive("num_clients", num_clients)
+        self.config = config
+        self.num_clients = num_clients
+        root = np.random.SeedSequence([config.seed, 0xD15C])
+        avail_seed, part_seed, strag_seed = root.spawn(3)
+        # One generator per client: lazy trace extension stays
+        # deterministic no matter which client is queried first.
+        self._avail_rngs = [
+            np.random.default_rng(s) for s in avail_seed.spawn(num_clients)
+        ]
+        self._part_rng = np.random.default_rng(part_seed)
+        self._strag_rng = np.random.default_rng(strag_seed)
+        # Per-client sorted toggle times; state before the first toggle is
+        # "up", flipping at every entry.
+        self._toggles: list[list[float]] = [[] for _ in range(num_clients)]
+
+    # ------------------------------------------------------------------
+    # availability trace
+    # ------------------------------------------------------------------
+    def available_at(self, client: int, t: float) -> bool:
+        """Whether ``client`` is up at absolute time ``t``."""
+        if not self.config.has_churn:
+            return True
+        toggles = self._toggles[client]
+        rng = self._avail_rngs[client]
+        up, down = self.config.churn_uptime_s, self.config.churn_downtime_s
+        while not toggles or toggles[-1] <= t:
+            last = toggles[-1] if toggles else 0.0
+            window = up if len(toggles) % 2 == 0 else down
+            toggles.append(last + float(rng.exponential(window)))
+        return bisect_right(toggles, t) % 2 == 0
+
+    def availability_windows(self, client: int, until: float) -> list[tuple[float, float]]:
+        """Up-windows of ``client`` clipped to ``[0, until]`` (diagnostics)."""
+        self.available_at(client, until)  # ensure the trace covers `until`
+        edges = [0.0] + [t for t in self._toggles[client] if t < until] + [until]
+        return [
+            (edges[i], edges[i + 1]) for i in range(0, len(edges) - 1, 2)
+        ]
+
+    def next_recovery_s(self, t: float) -> float | None:
+        """Earliest absolute time after ``t`` at which a currently-down
+        client comes back up (``None`` without churn, or if nobody is
+        down).  The scheme driver uses this to wait out an all-down
+        window instead of freezing the clock on a zero-cost round."""
+        if not self.config.has_churn:
+            return None
+        candidates = []
+        for c in range(self.num_clients):
+            if not self.available_at(c, t):
+                toggles = self._toggles[c]
+                candidates.append(toggles[bisect_right(toggles, t)])
+        return min(candidates) if candidates else None
+
+    # ------------------------------------------------------------------
+    # per-round resolution
+    # ------------------------------------------------------------------
+    def begin_round(self, round_index: int, now_s: float) -> RoundConditions:
+        """Resolve availability, participation and stragglers for a round."""
+        cfg = self.config
+        available = tuple(
+            c for c in range(self.num_clients) if self.available_at(c, now_s)
+        )
+        if cfg.participation < 1.0 and available:
+            k = int(round(cfg.participation * len(available)))
+            k = min(len(available), max(k, min(cfg.min_participants, len(available)), 1))
+            picked = self._part_rng.choice(len(available), size=k, replace=False)
+            participants = tuple(sorted(available[i] for i in picked))
+        else:
+            participants = available
+        slowdowns: dict[int, float] = {}
+        if cfg.straggler_rate > 0.0:
+            for c in participants:
+                if self._strag_rng.random() < cfg.straggler_rate:
+                    slowdowns[c] = cfg.straggler_slowdown
+        return RoundConditions(
+            round_index=round_index,
+            available=available,
+            participants=participants,
+            slowdowns=slowdowns,
+        )

@@ -25,6 +25,7 @@ from repro.data.partition import (
     partition_dirichlet,
     partition_iid,
 )
+from repro.experiments.dynamics import ClientDynamics, DynamicsConfig
 from repro.models.registry import build_model, default_cut_layer
 from repro.schemes.base import SchemeConfig
 from repro.utils.validation import check_in_choices, check_positive
@@ -47,6 +48,7 @@ class ExperimentScenario:
     dirichlet_alpha: float = 0.5
     wireless: WirelessConfig | None = field(default_factory=WirelessConfig)
     scheme: SchemeConfig = field(default_factory=SchemeConfig)
+    dynamics: DynamicsConfig | None = None
     model_seed: int = 0
 
     def __post_init__(self) -> None:
@@ -123,13 +125,24 @@ class BuiltScenario:
     input_shape: tuple[int, int, int]
 
     def scheme_kwargs(self) -> dict:
-        """Common keyword arguments for any Scheme subclass."""
+        """Common keyword arguments for any Scheme subclass.
+
+        A fresh :class:`~repro.experiments.dynamics.ClientDynamics` is
+        realized per call, so every scheme built from this scenario sees
+        the same churn/participation/straggler trajectory.
+        """
+        dynamics = (
+            ClientDynamics(self.scenario.dynamics, len(self.client_datasets))
+            if self.scenario.dynamics is not None
+            else None
+        )
         return {
             "client_datasets": self.client_datasets,
             "test_dataset": self.test_dataset,
             "system": self.system,
             "profile": self.profile,
             "config": self.scenario.scheme,
+            "dynamics": dynamics,
         }
 
 

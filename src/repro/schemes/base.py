@@ -1,4 +1,4 @@
-"""Scheme framework: timed activities, parallel stages, DES replay.
+"""Scheme framework: demand-based activities, parallel stages, DES runtime.
 
 Every training scheme produces, per round, a sequence of **stages**; a
 stage holds one **track** (list of sequential :class:`Activity`) per
@@ -6,18 +6,26 @@ concurrently executing actor.  Tracks inside a stage run in parallel,
 stages are separated by barriers (exactly the structure of GSFL: parallel
 group training → barrier → aggregation).
 
-The actual numpy training runs when the scheme builds its activities
-(on the scheme's :mod:`repro.exec` executor for the parallel-pipeline
-schemes); the discrete-event kernel then **replays** the timing
+Activities no longer carry pre-priced durations: they carry **demands**
+(FLOPs for compute, bytes + channel context for transmission — see
+:mod:`repro.sim.runtime`), and a persistent per-run
+:class:`~repro.sim.runtime.Runtime` resolves each demand *during replay*
+— against a shared :class:`~repro.sim.resources.FairShareLink` medium
+whose bandwidth division reacts to the instantaneously active
+transmitter set, per-device compute resources, and per-round straggler
+multipliers.  The actual numpy training still runs when the scheme
+builds its activities (on the scheme's :mod:`repro.exec` executor for
+the parallel-pipeline schemes); the runtime then resolves the timing
 structure to compose wall-clock latency and emit the global trace.  This
 split keeps learning math and latency simulation decoupled while both
-stay exact: groups never share state inside a round, so host execution
-order cannot change the learned weights.
+stay exact: groups never share state inside a round, so neither host
+execution order nor the timing model can change the learned weights.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -26,27 +34,67 @@ from repro.data.dataset import DataLoader, Dataset
 from repro.exec import Executor, SerialExecutor
 from repro.metrics.evaluate import evaluate_model
 from repro.metrics.history import TrainingHistory
-from repro.sim.engine import Environment
+from repro.sim.runtime import (
+    Demand,
+    Runtime,
+    demand_lower_bound_s,
+    demand_nominal_s,
+)
 from repro.sim.trace import TraceRecorder
 from repro.utils.rng import spawn_rngs
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_in_choices, check_positive
 
-__all__ = ["Activity", "Stage", "replay_stages", "SchemeConfig", "Scheme"]
+if TYPE_CHECKING:  # pragma: no cover - type-only (experiments imports us)
+    from repro.experiments.dynamics import ClientDynamics, RoundConditions
+
+__all__ = [
+    "Activity",
+    "Stage",
+    "RoundTiming",
+    "replay_stages",
+    "SchemeConfig",
+    "Scheme",
+    "MEDIUM_POLICIES",
+]
+
+#: medium share policies selectable via :class:`SchemeConfig`
+MEDIUM_POLICIES = ("static", "contended")
 
 
 @dataclass(frozen=True)
 class Activity:
-    """One timed, attributed unit of simulated work."""
+    """One attributed unit of simulated work, described by its demand.
 
-    duration_s: float
+    ``demand`` may be a plain float — shorthand for a fixed, pre-resolved
+    duration (zero-priced mode, waits, tests).
+    """
+
+    demand: "Demand"
     phase: str
     actor: str
     nbytes: int = 0
     detail: str = ""
 
     def __post_init__(self) -> None:
-        if self.duration_s < 0:
+        if isinstance(self.demand, (int, float)) and self.demand < 0:
             raise ValueError(f"negative duration: {self}")
+
+    @property
+    def duration_s(self) -> float:
+        """Analytic *lower bound* on the resolved duration.
+
+        Transmissions are priced with the whole medium to themselves and
+        compute without straggler slowdown, so no share policy or
+        injected disturbance can resolve the activity faster.  The
+        DES-resolved duration is exact; this is the floor it never
+        undercuts.
+        """
+        return demand_lower_bound_s(self.demand)
+
+    @property
+    def nominal_s(self) -> float:
+        """Static-share analytic duration (the pre-runtime pricing model)."""
+        return demand_nominal_s(self.demand)
 
 
 @dataclass
@@ -64,51 +112,60 @@ class Stage:
 
     @property
     def duration_s(self) -> float:
-        """Analytic stage latency: max over tracks of summed durations."""
+        """Analytic stage-latency *lower bound*: max over tracks of summed
+        per-activity lower bounds.  The DES-resolved stage span is always
+        at least this long (see :attr:`Activity.duration_s`)."""
         if not self.tracks:
             return 0.0
-        return max(sum(a.duration_s for a in acts) for acts in self.tracks.values())
+        return max(
+            sum(a.duration_s for a in acts) for acts in self.tracks.values()
+        )
+
+    @property
+    def nominal_duration_s(self) -> float:
+        """Static-share analytic stage latency (pre-runtime model)."""
+        if not self.tracks:
+            return 0.0
+        return max(
+            sum(a.nominal_s for a in acts) for acts in self.tracks.values()
+        )
+
+
+@dataclass(frozen=True)
+class RoundTiming:
+    """Per-round timing triple kept by the scheme driver.
+
+    ``des_s`` is the runtime-resolved duration, ``analytic_s`` the
+    static-share model (sum of stage nominal durations — what the old
+    pricing pipeline would have reported), ``lower_bound_s`` the
+    contention-free floor.  Under the static policy with no dynamics,
+    ``des_s == analytic_s``; a contention-aware policy or straggler
+    injection makes them diverge while ``des_s >= lower_bound_s`` always
+    holds.
+    """
+
+    round_index: int
+    des_s: float
+    analytic_s: float
+    lower_bound_s: float
 
 
 def replay_stages(
     stages: list[Stage],
-    recorder: TraceRecorder | None,
-    round_index: int,
-    start_time_s: float,
+    recorder: TraceRecorder | None = None,
+    round_index: int = 0,
+    runtime: Runtime | None = None,
 ) -> float:
-    """Replay a round's stages on the DES; returns the round duration.
+    """Resolve one round's stages on a runtime; returns the round duration.
 
-    One process per track; an all-of barrier between stages.  Trace events
-    carry absolute timestamps (``start_time_s`` offsets the kernel clock,
-    which restarts per round).
+    Convenience wrapper for standalone use (tests, benchmarks): creates a
+    throwaway static :class:`~repro.sim.runtime.Runtime` when none is
+    given.  Training schemes instead hold one persistent runtime per run
+    so the clock never restarts and trace timestamps are absolute.
     """
-    env = Environment()
-
-    def track_process(activities: list[Activity]):
-        for act in activities:
-            begin = env.now
-            yield env.timeout(act.duration_s)
-            if recorder is not None:
-                recorder.record(
-                    start=start_time_s + begin,
-                    end=start_time_s + env.now,
-                    phase=act.phase,
-                    actor=act.actor,
-                    round_index=round_index,
-                    nbytes=act.nbytes,
-                    detail=act.detail,
-                )
-
-    def round_process():
-        for stage in stages:
-            if not stage.tracks:
-                continue
-            procs = [env.process(track_process(acts)) for acts in stage.tracks.values()]
-            yield env.all_of(procs)
-
-    done = env.process(round_process())
-    env.run(done)
-    return env.now
+    if runtime is None:
+        runtime = Runtime()
+    return runtime.execute_round(stages, recorder, round_index)
 
 
 @dataclass
@@ -124,6 +181,14 @@ class SchemeConfig:
     smashed-data / smashed-gradient wire payloads to the given bit width;
     training genuinely sees the quantization error, and the latency model
     prices the smaller payloads.
+
+    ``medium`` selects how the runtime's shared wireless medium divides
+    bandwidth: ``"static"`` gives every transmission exactly its nominal
+    allocation (the analytic model — subchannels sit idle when their
+    owner computes), ``"contended"`` re-runs the system's bandwidth
+    allocator over the *instantaneously active* transmitter set on every
+    flow arrival/departure, so shares change as group pipelines drift
+    apart.
     """
 
     batch_size: int = 16
@@ -134,6 +199,7 @@ class SchemeConfig:
     eval_every: int = 1
     eval_batch_size: int = 256
     quantize_bits: int | None = None
+    medium: str = "static"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -141,6 +207,7 @@ class SchemeConfig:
         check_positive("local_steps", self.local_steps)
         check_positive("lr", self.lr)
         check_positive("eval_every", self.eval_every)
+        check_in_choices("medium", self.medium, MEDIUM_POLICIES)
         if self.quantize_bits is not None and not 1 <= self.quantize_bits <= 16:
             raise ValueError(
                 f"quantize_bits must be in [1, 16] or None, got {self.quantize_bits}"
@@ -151,7 +218,8 @@ class Scheme:
     """Base class for the training schemes (CL / FL / SL / SplitFed / GSFL).
 
     Subclasses implement :meth:`_run_round`, returning the round's stages;
-    the base class owns the loop: eager training + DES replay + periodic
+    the base class owns the loop: round conditions (churn / participation
+    / stragglers) → eager training → runtime resolution → periodic
     evaluation into a :class:`~repro.metrics.history.TrainingHistory`.
     """
 
@@ -167,6 +235,7 @@ class Scheme:
         config: SchemeConfig | None = None,
         recorder: TraceRecorder | None = None,
         executor: Executor | None = None,
+        dynamics: "ClientDynamics | None" = None,
     ) -> None:
         if not client_datasets:
             raise ValueError("need at least one client dataset")
@@ -181,7 +250,11 @@ class Scheme:
         # per-client pipelines (GSFL, SplitFed, PSL); inherently sequential
         # schemes (SL, CL) ignore it.
         self.executor = executor if executor is not None else SerialExecutor()
+        self.dynamics = dynamics
         self.history = TrainingHistory(scheme=self.name)
+        self.runtime = self._make_runtime()
+        self.round_timings: list[RoundTiming] = []
+        self._round_conditions: "RoundConditions | None" = None
         self._elapsed_s = 0.0
         self._last_train_loss = float("nan")
 
@@ -192,6 +265,18 @@ class Scheme:
             )
             for ds, rng in zip(client_datasets, rngs)
         ]
+
+    def _make_runtime(self) -> Runtime:
+        """One persistent runtime per run; contended medium on request."""
+        if self.system is None:
+            return Runtime()
+        total_hz = self.system.allocator.total_bandwidth_hz
+        if self.config.medium == "contended":
+            from repro.wireless.bandwidth import as_share_policy
+
+            policy = as_share_policy(self.system.allocator, self.system.channel)
+            return Runtime(total_hz, policy)
+        return Runtime(total_hz)
 
     # ------------------------------------------------------------------
     # subclass contract
@@ -208,6 +293,12 @@ class Scheme:
         """Model to evaluate after a round (global/aggregated view)."""
         return self.model
 
+    def _round_participants(self) -> list[int]:
+        """Clients taking part in the current round (all, without dynamics)."""
+        if self._round_conditions is None:
+            return list(range(self.num_clients))
+        return list(self._round_conditions.participants)
+
     # ------------------------------------------------------------------
     # driver
     # ------------------------------------------------------------------
@@ -215,15 +306,34 @@ class Scheme:
         """Train for ``num_rounds`` rounds; returns the filled history."""
         check_positive("num_rounds", num_rounds)
         for r in range(num_rounds):
+            if self.dynamics is not None:
+                conditions = self.dynamics.begin_round(r, self.runtime.now)
+                if not conditions.participants:
+                    # Everybody is down: a zero-cost round would freeze
+                    # the clock and replay the same all-down snapshot
+                    # forever.  Wait out the churn window instead.
+                    next_up = getattr(self.dynamics, "next_recovery_s", None)
+                    resume = next_up(self.runtime.now) if next_up else None
+                    if resume is not None and resume > self.runtime.now:
+                        self.runtime.advance_to(resume)
+                        conditions = self.dynamics.begin_round(r, self.runtime.now)
+                self._round_conditions = conditions
+                slowdowns = conditions.slowdowns
+            else:
+                slowdowns = None
             stages = self._run_round(r)
-            duration = replay_stages(stages, self.recorder, r, self._elapsed_s)
-            analytic = sum(s.duration_s for s in stages)
-            if not np.isclose(duration, analytic, rtol=1e-9, atol=1e-9):
+            duration = self.runtime.execute_round(
+                stages, self.recorder, r, compute_slowdown=slowdowns
+            )
+            lower = sum(s.duration_s for s in stages)
+            analytic = sum(s.nominal_duration_s for s in stages)
+            if duration < lower * (1.0 - 1e-9) - 1e-12:
                 raise AssertionError(
-                    f"DES replay ({duration}) disagrees with analytic stage "
-                    f"latency ({analytic}) — kernel or stage construction bug"
+                    f"DES-resolved round duration ({duration}) undercuts the "
+                    f"analytic lower bound ({lower}) — kernel or demand bug"
                 )
-            self._elapsed_s += duration
+            self.round_timings.append(RoundTiming(r, duration, analytic, lower))
+            self._elapsed_s = self.runtime.now
             if (r + 1) % self.config.eval_every == 0 or r == num_rounds - 1:
                 self._record_eval(r)
         return self.history
@@ -252,5 +362,9 @@ class Scheme:
             weight_decay=self.config.weight_decay,
         )
 
-    def _client_sample_counts(self) -> np.ndarray:
-        return np.array([len(ds) for ds in self.client_datasets], dtype=np.float64)
+    def _client_sample_counts(self, clients: list[int] | None = None) -> np.ndarray:
+        if clients is None:
+            clients = range(len(self.client_datasets))
+        return np.array(
+            [len(self.client_datasets[c]) for c in clients], dtype=np.float64
+        )

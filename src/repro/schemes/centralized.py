@@ -51,13 +51,15 @@ class CentralizedLearning(Scheme):
 
         if round_index == 0 and self._pricing.enabled:
             # One-time raw-data upload, all clients concurrently at B/N.
+            # (CL ignores population dynamics: after this pooling step the
+            # clients play no further part in training.)
             upload = Stage("data_upload")
             share = self._pricing.total_bandwidth_hz / self.num_clients
             for c, ds in enumerate(self.client_datasets):
                 upload.add(
                     f"client-{c}",
                     Activity(
-                        self._pricing.uplink_data_s(c, len(ds), share),
+                        self._pricing.uplink_data_demand(c, len(ds), share),
                         "data_upload",
                         f"client-{c}",
                         nbytes=self._pricing.dataset_nbytes(len(ds)),
@@ -78,7 +80,9 @@ class CentralizedLearning(Scheme):
             train.add(
                 "edge-server",
                 Activity(
-                    self._pricing.server_full_step_s(), "server_compute", "edge-server"
+                    self._pricing.server_full_step_demand(),
+                    "server_compute",
+                    "edge-server",
                 ),
             )
         self._last_train_loss = total_loss / steps

@@ -35,7 +35,9 @@ class FederatedLearning(Scheme):
     def _run_round(self, round_index: int) -> list[Stage]:
         cfg = self.config
         pricing = self._pricing
-        all_clients = list(range(self.num_clients))
+        participants = self._round_participants()
+        if not participants:
+            return []
         model_bytes = pricing.full_model_nbytes()
 
         # --- stage 1: model distribution (single AP broadcast) --------
@@ -44,8 +46,8 @@ class FederatedLearning(Scheme):
             distribution.add(
                 "access-point",
                 Activity(
-                    pricing.broadcast_model_s(
-                        all_clients, model_bytes, pricing.total_bandwidth_hz
+                    pricing.broadcast_model_demand(
+                        participants, model_bytes, pricing.total_bandwidth_hz
                     ),
                     "model_distribution",
                     "access-point",
@@ -57,7 +59,7 @@ class FederatedLearning(Scheme):
         local = Stage("local_training")
         local_states = []
         total_loss = 0.0
-        for c in all_clients:
+        for c in participants:
             self.model.load_state_dict(self._global_state)
             optimizer = self._make_sgd(self.model.parameters())
             for _ in range(cfg.local_steps):
@@ -70,24 +72,24 @@ class FederatedLearning(Scheme):
                 local.add(
                     f"client-{c}",
                     Activity(
-                        pricing.client_full_step_s(c),
+                        pricing.client_full_step_demand(c),
                         "client_compute",
                         f"client-{c}",
                         detail="local step",
                     ),
                 )
             local_states.append(self.model.state_dict())
-        self._last_train_loss = total_loss / (self.num_clients * cfg.local_steps)
+        self._last_train_loss = total_loss / (len(participants) * cfg.local_steps)
 
         # --- stage 3: concurrent full-model uploads at B/N -------------
         upload = Stage("upload")
         if pricing.enabled:
-            share = pricing.total_bandwidth_hz / self.num_clients
-            for c in all_clients:
+            share = pricing.total_bandwidth_hz / len(participants)
+            for c in participants:
                 upload.add(
                     f"client-{c}",
                     Activity(
-                        pricing.uplink_model_s(c, model_bytes, share),
+                        pricing.uplink_model_demand(c, model_bytes, share),
                         "model_upload",
                         f"client-{c}",
                         nbytes=model_bytes,
@@ -96,14 +98,14 @@ class FederatedLearning(Scheme):
 
         # --- stage 4: FedAvg at the server ------------------------------
         aggregation = Stage("aggregation")
-        weights = self._client_sample_counts()
+        weights = self._client_sample_counts(participants)
         self._global_state = fedavg(local_states, weights)
         self.model.load_state_dict(self._global_state)
         aggregation.add(
             "edge-server",
             Activity(
-                pricing.aggregation_s(
-                    self.num_clients, self.model.num_parameters()
+                pricing.aggregation_demand(
+                    len(participants), self.model.num_parameters()
                 ),
                 "aggregation",
                 "edge-server",

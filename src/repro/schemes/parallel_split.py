@@ -136,16 +136,19 @@ class ParallelSplitLearning(Scheme):
     def _run_round(self, round_index: int) -> list[Stage]:
         cfg = self.config
         pricing = self._pricing
-        share = pricing.total_bandwidth_hz / self.num_clients
+        participants = self._round_participants()
+        if not participants:
+            return []
+        share = pricing.total_bandwidth_hz / len(participants)
         client_model_bytes = pricing.client_model_nbytes(self.cut_layer)
 
         distribution = Stage("distribution")
         if pricing.enabled:
-            for c in range(self.num_clients):
+            for c in participants:
                 distribution.add(
                     f"client-{c}",
                     Activity(
-                        pricing.downlink_model_s(c, client_model_bytes, share),
+                        pricing.downlink_model_demand(c, client_model_bytes, share),
                         "model_distribution",
                         f"client-{c}",
                         nbytes=client_model_bytes,
@@ -164,18 +167,20 @@ class ParallelSplitLearning(Scheme):
         # fused server step between them stays in the parent.
         for step in range(cfg.local_steps):
             step_batches = []
-            for c in range(self.num_clients):
+            for c in participants:
                 xb, yb = self.client_loaders[c].sample_batch()
                 step_batches.append((xb, yb))
 
-            def state_for(c: int) -> dict[str, np.ndarray]:
-                return self._global_client_state if step == 0 else client_states[c]
+            def state_for(position: int) -> dict[str, np.ndarray]:
+                return (
+                    self._global_client_state if step == 0 else client_states[position]
+                )
 
             # --- parallel client forwards; smashed data crosses the cut --
             forward_tasks = self._phase_tasks(
                 [
-                    _ClientPhaseTask(client=c, state=state_for(c), xb=xb)
-                    for c, (xb, _) in enumerate(step_batches)
+                    _ClientPhaseTask(client=c, state=state_for(i), xb=xb)
+                    for i, (c, (xb, _)) in enumerate(zip(participants, step_batches))
                 ]
             )
             smashed_per_client = self.executor.map_groups(
@@ -186,11 +191,11 @@ class ParallelSplitLearning(Scheme):
                     simulate_wire(values, pricing.quantize_bits)
                     for values in smashed_per_client
                 ]
-            for c in range(self.num_clients):
+            for c in participants:
                 training.add(
                     f"client-{c}",
                     Activity(
-                        pricing.client_forward_s(c, self.cut_layer),
+                        pricing.client_forward_demand(c, self.cut_layer),
                         "client_compute",
                         f"client-{c}",
                         detail="forward",
@@ -199,7 +204,7 @@ class ParallelSplitLearning(Scheme):
                 training.add(
                     f"client-{c}",
                     Activity(
-                        pricing.uplink_smashed_s(c, self.cut_layer, share),
+                        pricing.uplink_smashed_demand(c, self.cut_layer, share),
                         "uplink_smashed",
                         f"client-{c}",
                         nbytes=pricing.smashed_nbytes(self.cut_layer),
@@ -221,7 +226,9 @@ class ParallelSplitLearning(Scheme):
             training.add(
                 "edge-server",
                 Activity(
-                    pricing.server_split_step_s(self.cut_layer) * self.num_clients,
+                    pricing.server_split_step_demand(
+                        self.cut_layer, multiplier=len(participants)
+                    ),
                     "server_compute",
                     "edge-server",
                     detail="fused batch",
@@ -231,12 +238,12 @@ class ParallelSplitLearning(Scheme):
             # --- gradients fan back out; client halves step in parallel --
             backward_tasks = []
             offset = 0
-            for c, (xb, _) in enumerate(step_batches):
+            for i, (c, (xb, _)) in enumerate(zip(participants, step_batches)):
                 batch = xb.shape[0]
                 backward_tasks.append(
                     _ClientPhaseTask(
                         client=c,
-                        state=state_for(c),
+                        state=state_for(i),
                         xb=xb,
                         grad=fused_grad[offset : offset + batch],
                     )
@@ -246,11 +253,11 @@ class ParallelSplitLearning(Scheme):
                 functools.partial(_client_backward, hp=hp),
                 self._phase_tasks(backward_tasks),
             )
-            for c in range(self.num_clients):
+            for c in participants:
                 training.add(
                     f"client-{c}",
                     Activity(
-                        pricing.downlink_gradient_s(c, self.cut_layer, share),
+                        pricing.downlink_gradient_demand(c, self.cut_layer, share),
                         "downlink_gradient",
                         f"client-{c}",
                         nbytes=pricing.smashed_nbytes(self.cut_layer),
@@ -259,7 +266,7 @@ class ParallelSplitLearning(Scheme):
                 training.add(
                     f"client-{c}",
                     Activity(
-                        pricing.client_backward_s(c, self.cut_layer),
+                        pricing.client_backward_demand(c, self.cut_layer),
                         "client_compute",
                         f"client-{c}",
                         detail="backward",
@@ -270,11 +277,11 @@ class ParallelSplitLearning(Scheme):
 
         upload = Stage("upload")
         if pricing.enabled:
-            for c in range(self.num_clients):
+            for c in participants:
                 upload.add(
                     f"client-{c}",
                     Activity(
-                        pricing.uplink_model_s(c, client_model_bytes, share),
+                        pricing.uplink_model_demand(c, client_model_bytes, share),
                         "model_upload",
                         f"client-{c}",
                         nbytes=client_model_bytes,
@@ -283,13 +290,15 @@ class ParallelSplitLearning(Scheme):
 
         aggregation = Stage("aggregation")
         self._global_client_state = fedavg(
-            client_states, self._client_sample_counts()
+            client_states, self._client_sample_counts(participants)
         )
         self.split.client.load_state_dict(self._global_client_state, copy=False)
         aggregation.add(
             "edge-server",
             Activity(
-                pricing.aggregation_s(self.num_clients, self.model.num_parameters()),
+                pricing.aggregation_demand(
+                    len(participants), self.model.num_parameters()
+                ),
                 "aggregation",
                 "edge-server",
             ),

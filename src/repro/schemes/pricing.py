@@ -1,13 +1,23 @@
-"""Latency pricing for scheme activities.
+"""Demand calculation (and analytic pricing) for scheme activities.
 
 :class:`LatencyModel` converts protocol actions (client forward pass,
-smashed-data upload, model relay, ...) into seconds using the wireless
-system and the static model profile.  Constructed with ``system=None`` it
-prices everything at zero — "pure algorithm" mode for accuracy-only runs
-and fast tests.
+smashed-data upload, model relay, ...) into **demands** — FLOPs against a
+device for compute, bytes + frozen channel realization + nominal
+bandwidth for transmission (:mod:`repro.sim.runtime` vocabulary).  The
+runtime resolves demand durations during replay, so a transmission's
+actual airtime depends on the instantaneous state of the shared medium,
+not on what the scheme assumed when it emitted the activity.
 
 Fading realizations are drawn per transmission through the channel's own
-generator, so latency traces are reproducible for a fixed scenario seed.
+generator *at demand-construction time*, in protocol order — exactly
+where the old pre-priced pipeline drew them — so latency traces stay
+reproducible for a fixed scenario seed and the static-share resolution
+is bit-identical to the legacy analytic pricing.
+
+The ``*_s`` methods retain that legacy analytic model (each also drawing
+fading on call); they back the cut-layer sweep and other closed-form
+analyses.  Constructed with ``system=None`` everything is priced at
+zero — "pure algorithm" mode for accuracy-only runs and fast tests.
 """
 
 from __future__ import annotations
@@ -16,6 +26,13 @@ import numpy as np
 
 from repro.nn.profile import ModelProfile
 from repro.nn.serialize import WIRE_BYTES_PER_SCALAR
+from repro.sim.runtime import (
+    ComputeDemand,
+    Demand,
+    TransmitDemand,
+    TransmitLeg,
+    demand_lower_bound_s,
+)
 from repro.wireless.system import WirelessSystem
 
 __all__ = ["LatencyModel"]
@@ -25,7 +42,7 @@ AGGREGATION_FLOPS_PER_PARAM = 2.0
 
 
 class LatencyModel:
-    """Prices protocol actions in seconds (zero-priced when no system)."""
+    """Builds demands for protocol actions (zero-priced when no system)."""
 
     def __init__(
         self,
@@ -56,53 +73,180 @@ class LatencyModel:
         return self.system is not None
 
     # ------------------------------------------------------------------
-    # compute
+    # compute demands
     # ------------------------------------------------------------------
-    def client_forward_s(self, client: int, cut_layer: int) -> float:
+    def _client_compute(self, client: int, flops: float) -> Demand:
+        return ComputeDemand(
+            flops=flops,
+            flops_per_s=self.system.fleet.client(client).flops_per_second,
+            client=client,
+        )
+
+    def _server_compute(self, flops: float, multiplier: float = 1.0) -> Demand:
+        return ComputeDemand(
+            flops=flops,
+            flops_per_s=self.system.fleet.server.flops_per_second,
+            client=None,
+            multiplier=multiplier,
+        )
+
+    def client_forward_demand(self, client: int, cut_layer: int) -> Demand:
         if not self.enabled:
             return 0.0
         flops = self.profile.client_forward_flops(cut_layer) * self.batch_size
-        return self.system.client_compute_seconds(client, flops)
+        return self._client_compute(client, flops)
 
-    def client_backward_s(self, client: int, cut_layer: int) -> float:
+    def client_backward_demand(self, client: int, cut_layer: int) -> Demand:
         if not self.enabled:
             return 0.0
         flops = self.profile.client_backward_flops(cut_layer) * self.batch_size
-        return self.system.client_compute_seconds(client, flops)
+        return self._client_compute(client, flops)
 
-    def client_full_step_s(self, client: int) -> float:
+    def client_full_step_demand(self, client: int) -> Demand:
         """Full-model forward+backward on the client (FL local step)."""
         if not self.enabled:
             return 0.0
-        per_sample = self.profile.total_forward_flops
-        flops = 3.0 * per_sample * self.batch_size  # fwd + ~2x bwd
-        return self.system.client_compute_seconds(client, flops)
+        flops = 3.0 * self.profile.total_forward_flops * self.batch_size
+        return self._client_compute(client, flops)
 
-    def server_split_step_s(self, cut_layer: int) -> float:
-        """Server-side forward+backward for one smashed batch."""
+    def server_split_step_demand(self, cut_layer: int, multiplier: float = 1.0) -> Demand:
+        """Server-side forward+backward for one smashed batch.
+
+        ``multiplier`` prices a fused batch (PSL: ``N×`` one batch).
+        """
         if not self.enabled:
             return 0.0
         flops = (
             self.profile.server_forward_flops(cut_layer)
             + self.profile.server_backward_flops(cut_layer)
         ) * self.batch_size
-        return self.system.server_compute_seconds(flops)
+        return self._server_compute(flops, multiplier)
 
-    def server_full_step_s(self) -> float:
+    def server_full_step_demand(self) -> Demand:
         """Full-model forward+backward on the server (CL step)."""
         if not self.enabled:
             return 0.0
         flops = 3.0 * self.profile.total_forward_flops * self.batch_size
-        return self.system.server_compute_seconds(flops)
+        return self._server_compute(flops)
 
-    def aggregation_s(self, num_participants: int, num_params: int) -> float:
+    def aggregation_demand(self, num_participants: int, num_params: int) -> Demand:
         if not self.enabled:
             return 0.0
         flops = AGGREGATION_FLOPS_PER_PARAM * num_params * num_participants
-        return self.system.server_compute_seconds(flops)
+        return self._server_compute(flops)
 
     # ------------------------------------------------------------------
-    # transmission
+    # transmission demands
+    # ------------------------------------------------------------------
+    def _uplink_leg(self, client: int, nbits: float) -> TransmitLeg:
+        """One client→AP hop; freezes a fading draw from the shared stream."""
+        channel = self.system.channel
+        fading = channel.draw_fading()
+        return TransmitLeg(
+            nbits=nbits,
+            client=client,
+            rate_fn=lambda hz, _ch=channel, _c=client, _f=fading: _ch.uplink_rate_bps(
+                _c, hz, fading=_f
+            ),
+        )
+
+    def _downlink_leg(self, client: int, nbits: float) -> TransmitLeg:
+        """One AP→client hop; freezes a fading draw from the shared stream."""
+        channel = self.system.channel
+        fading = channel.draw_fading()
+        return TransmitLeg(
+            nbits=nbits,
+            client=client,
+            rate_fn=lambda hz, _ch=channel, _c=client, _f=fading: _ch.downlink_rate_bps(
+                _c, hz, fading=_f
+            ),
+        )
+
+    def _transmit(self, legs: list[TransmitLeg], nominal_hz: float) -> TransmitDemand:
+        return TransmitDemand(
+            legs=tuple(legs),
+            nominal_hz=nominal_hz,
+            total_hz=self.total_bandwidth_hz,
+        )
+
+    def uplink_smashed_demand(
+        self, client: int, cut_layer: int, nominal_hz: float
+    ) -> Demand:
+        if not self.enabled:
+            return 0.0
+        nbits = 8 * self.smashed_nbytes(cut_layer)
+        return self._transmit([self._uplink_leg(client, nbits)], nominal_hz)
+
+    def downlink_gradient_demand(
+        self, client: int, cut_layer: int, nominal_hz: float
+    ) -> Demand:
+        if not self.enabled:
+            return 0.0
+        nbits = 8 * self.smashed_nbytes(cut_layer)
+        return self._transmit([self._downlink_leg(client, nbits)], nominal_hz)
+
+    def uplink_model_demand(self, client: int, nbytes: int, nominal_hz: float) -> Demand:
+        if not self.enabled or nbytes == 0:
+            return 0.0
+        return self._transmit([self._uplink_leg(client, 8 * nbytes)], nominal_hz)
+
+    def downlink_model_demand(
+        self, client: int, nbytes: int, nominal_hz: float
+    ) -> Demand:
+        if not self.enabled or nbytes == 0:
+            return 0.0
+        return self._transmit([self._downlink_leg(client, 8 * nbytes)], nominal_hz)
+
+    def relay_model_demand(
+        self, from_client: int, to_client: int, nbytes: int, nominal_hz: float
+    ) -> Demand:
+        """Client→AP→client model relay: two sequential hops, one demand."""
+        if not self.enabled or nbytes == 0:
+            return 0.0
+        return self._transmit(
+            [
+                self._uplink_leg(from_client, 8 * nbytes),
+                self._downlink_leg(to_client, 8 * nbytes),
+            ],
+            nominal_hz,
+        )
+
+    def broadcast_model_demand(
+        self, clients: list[int], nbytes: int, nominal_hz: float
+    ) -> Demand:
+        """One AP broadcast decoded by every listed client.
+
+        The transmission closes at the *weakest* listener's rate; the flow
+        is attributed to that listener for client-aware share policies.
+        """
+        if not self.enabled or nbytes == 0:
+            return 0.0
+        channel = self.system.channel
+        pairs = [(c, channel.draw_fading()) for c in clients]
+
+        def weakest_rate(hz: float, _pairs=tuple(pairs), _ch=channel) -> float:
+            return min(_ch.downlink_rate_bps(c, hz, fading=f) for c, f in _pairs)
+
+        nominal_rates = [
+            channel.downlink_rate_bps(c, nominal_hz, fading=f) for c, f in pairs
+        ]
+        weakest = clients[int(np.argmin(nominal_rates))]
+        return self._transmit(
+            [TransmitLeg(nbits=8 * nbytes, client=weakest, rate_fn=weakest_rate)],
+            nominal_hz,
+        )
+
+    def uplink_data_demand(
+        self, client: int, num_samples: int, nominal_hz: float
+    ) -> Demand:
+        """Raw-data upload demand for CL's one-time pooling."""
+        if not self.enabled:
+            return 0.0
+        nbits = 8 * self.dataset_nbytes(num_samples)
+        return self._transmit([self._uplink_leg(client, nbits)], nominal_hz)
+
+    # ------------------------------------------------------------------
+    # payload sizes
     # ------------------------------------------------------------------
     def smashed_nbytes(self, cut_layer: int) -> int:
         if not self.enabled:
@@ -119,18 +263,6 @@ class LatencyModel:
         self._smashed_nbytes[cut_layer] = nbytes
         return nbytes
 
-    def uplink_smashed_s(self, client: int, cut_layer: int, bandwidth_hz: float) -> float:
-        if not self.enabled:
-            return 0.0
-        nbits = 8 * self.smashed_nbytes(cut_layer)
-        return self.system.uplink_seconds(client, nbits, bandwidth_hz)
-
-    def downlink_gradient_s(self, client: int, cut_layer: int, bandwidth_hz: float) -> float:
-        if not self.enabled:
-            return 0.0
-        nbits = 8 * self.smashed_nbytes(cut_layer)
-        return self.system.downlink_seconds(client, nbits, bandwidth_hz)
-
     def client_model_nbytes(self, cut_layer: int) -> int:
         if not self.enabled:
             return 0
@@ -146,6 +278,61 @@ class LatencyModel:
         if self._full_model_nbytes is None:
             self._full_model_nbytes = self.profile.total_param_bytes
         return self._full_model_nbytes
+
+    def dataset_nbytes(self, num_samples: int) -> int:
+        """Raw-data payload for CL's one-time upload."""
+        if not self.enabled:
+            return 0
+        per_sample = int(np.prod(self.profile.input_shape)) + 1  # pixels + label
+        return num_samples * per_sample * WIRE_BYTES_PER_SCALAR
+
+    @property
+    def total_bandwidth_hz(self) -> float:
+        if not self.enabled:
+            return 1.0
+        return self.system.allocator.total_bandwidth_hz
+
+    # ------------------------------------------------------------------
+    # legacy analytic pricing (closed-form analyses, cut sweep)
+    #
+    # Compute pricing derives from the demand constructors (one FLOP
+    # formula, two views); transmission pricing must stay separate
+    # because both paths draw fading from the shared stream.
+    # ------------------------------------------------------------------
+    def client_forward_s(self, client: int, cut_layer: int) -> float:
+        return demand_lower_bound_s(self.client_forward_demand(client, cut_layer))
+
+    def client_backward_s(self, client: int, cut_layer: int) -> float:
+        return demand_lower_bound_s(self.client_backward_demand(client, cut_layer))
+
+    def client_full_step_s(self, client: int) -> float:
+        """Full-model forward+backward on the client (FL local step)."""
+        return demand_lower_bound_s(self.client_full_step_demand(client))
+
+    def server_split_step_s(self, cut_layer: int) -> float:
+        """Server-side forward+backward for one smashed batch."""
+        return demand_lower_bound_s(self.server_split_step_demand(cut_layer))
+
+    def server_full_step_s(self) -> float:
+        """Full-model forward+backward on the server (CL step)."""
+        return demand_lower_bound_s(self.server_full_step_demand())
+
+    def aggregation_s(self, num_participants: int, num_params: int) -> float:
+        return demand_lower_bound_s(
+            self.aggregation_demand(num_participants, num_params)
+        )
+
+    def uplink_smashed_s(self, client: int, cut_layer: int, bandwidth_hz: float) -> float:
+        if not self.enabled:
+            return 0.0
+        nbits = 8 * self.smashed_nbytes(cut_layer)
+        return self.system.uplink_seconds(client, nbits, bandwidth_hz)
+
+    def downlink_gradient_s(self, client: int, cut_layer: int, bandwidth_hz: float) -> float:
+        if not self.enabled:
+            return 0.0
+        nbits = 8 * self.smashed_nbytes(cut_layer)
+        return self.system.downlink_seconds(client, nbits, bandwidth_hz)
 
     def uplink_model_s(self, client: int, nbytes: int, bandwidth_hz: float) -> float:
         if not self.enabled or nbytes == 0:
@@ -168,22 +355,9 @@ class LatencyModel:
             self.system.downlink_seconds(c, 8 * nbytes, bandwidth_hz) for c in clients
         )
 
-    def dataset_nbytes(self, num_samples: int) -> int:
-        """Raw-data payload for CL's one-time upload."""
-        if not self.enabled:
-            return 0
-        per_sample = int(np.prod(self.profile.input_shape)) + 1  # pixels + label
-        return num_samples * per_sample * WIRE_BYTES_PER_SCALAR
-
     def uplink_data_s(self, client: int, num_samples: int, bandwidth_hz: float) -> float:
         if not self.enabled:
             return 0.0
         return self.system.uplink_seconds(
             client, 8 * self.dataset_nbytes(num_samples), bandwidth_hz
         )
-
-    @property
-    def total_bandwidth_hz(self) -> float:
-        if not self.enabled:
-            return 1.0
-        return self.system.allocator.total_bandwidth_hz

@@ -43,18 +43,23 @@ class SplitLearning(Scheme):
         pricing = self._pricing
         bandwidth = pricing.total_bandwidth_hz  # sole transmitter gets all of it
         client_model_bytes = pricing.client_model_nbytes(self.cut_layer)
+        participants = self._round_participants()
+        if not participants:
+            return []
         stage = Stage("sequential_training")
         track = "sl-relay"
         total_loss = 0.0
 
-        for position, client in enumerate(range(self.num_clients)):
+        for position, client in enumerate(participants):
             if position == 0:
                 # Round start: AP sends the client-side model to the first
                 # client (paper §II-A model distribution).
                 stage.add(
                     track,
                     Activity(
-                        pricing.downlink_model_s(client, client_model_bytes, bandwidth),
+                        pricing.downlink_model_demand(
+                            client, client_model_bytes, bandwidth
+                        ),
                         "model_distribution",
                         f"client-{client}",
                         nbytes=client_model_bytes,
@@ -74,14 +79,16 @@ class SplitLearning(Scheme):
             total_loss += loss
             stage.extend(track, activities)
 
-            if position < self.num_clients - 1:
+            if position < len(participants) - 1:
                 # Relay the client-side model to the next client via the AP.
                 stage.add(
                     track,
                     Activity(
-                        pricing.uplink_model_s(client, client_model_bytes, bandwidth)
-                        + pricing.downlink_model_s(
-                            client + 1, client_model_bytes, bandwidth
+                        pricing.relay_model_demand(
+                            client,
+                            participants[position + 1],
+                            client_model_bytes,
+                            bandwidth,
                         ),
                         "model_relay",
                         f"client-{client}",
@@ -94,14 +101,16 @@ class SplitLearning(Scheme):
                 stage.add(
                     track,
                     Activity(
-                        pricing.uplink_model_s(client, client_model_bytes, bandwidth),
+                        pricing.uplink_model_demand(
+                            client, client_model_bytes, bandwidth
+                        ),
                         "model_upload",
                         f"client-{client}",
                         nbytes=client_model_bytes,
                     ),
                 )
 
-        self._last_train_loss = total_loss / self.num_clients
+        self._last_train_loss = total_loss / len(participants)
         return [stage]
 
     def server_side_replicas(self) -> int:

@@ -6,11 +6,13 @@ Two layers:
   the §II-B handshake (client forward → server forward/backward → client
   backward, both optimizers stepping).  It touches no shared randomness,
   so it can run on any :mod:`repro.exec` backend.
-* **pricing** — :func:`price_local_round` builds the per-batch activity
-  list (client compute / uplink / server compute / downlink) for the
-  latency replay.  Pricing draws fading realizations from the wireless
-  system's shared stream, so it always runs in the scheme's (parent)
-  thread, in protocol order.
+* **demands** — :func:`price_local_round` builds the per-batch activity
+  list (client compute / uplink / server compute / downlink) as
+  *demands* for the runtime to resolve during replay.  Demand
+  construction draws fading realizations from the wireless system's
+  shared stream, so it always runs in the scheme's (parent) thread, in
+  protocol order; durations are resolved later by the DES from the
+  instantaneous state of the shared medium.
 
 :func:`split_local_round` composes both for the serial schemes (SL), and
 :func:`train_split_group` is the executor work-function behind GSFL's and
@@ -142,19 +144,21 @@ def price_local_round(
     pricing: LatencyModel,
     bandwidth_hz: float,
 ) -> list[Activity]:
-    """Priced activity list for one client's local round (no training).
+    """Demand activity list for one client's local round (no training).
 
     Activities alternate client compute / uplink / server compute /
     downlink / client compute per batch, in protocol order — the order
-    matters because transmission pricing consumes the channel's shared
-    fading stream.
+    matters because transmission demands freeze realizations from the
+    channel's shared fading stream.  ``bandwidth_hz`` is the *nominal*
+    share (the static-model allocation); the runtime may resolve a
+    different instantaneous share under a contention-aware policy.
     """
     actor = f"client-{client_id}"
     activities: list[Activity] = []
     for _ in range(local_steps):
         activities.append(
             Activity(
-                pricing.client_forward_s(client_id, cut),
+                pricing.client_forward_demand(client_id, cut),
                 "client_compute",
                 actor,
                 detail="forward",
@@ -162,7 +166,7 @@ def price_local_round(
         )
         activities.append(
             Activity(
-                pricing.uplink_smashed_s(client_id, cut, bandwidth_hz),
+                pricing.uplink_smashed_demand(client_id, cut, bandwidth_hz),
                 "uplink_smashed",
                 actor,
                 nbytes=pricing.smashed_nbytes(cut),
@@ -170,7 +174,7 @@ def price_local_round(
         )
         activities.append(
             Activity(
-                pricing.server_split_step_s(cut),
+                pricing.server_split_step_demand(cut),
                 "server_compute",
                 "edge-server",
                 detail=f"for {actor}",
@@ -178,7 +182,7 @@ def price_local_round(
         )
         activities.append(
             Activity(
-                pricing.downlink_gradient_s(client_id, cut, bandwidth_hz),
+                pricing.downlink_gradient_demand(client_id, cut, bandwidth_hz),
                 "downlink_gradient",
                 actor,
                 nbytes=pricing.smashed_nbytes(cut),
@@ -186,7 +190,7 @@ def price_local_round(
         )
         activities.append(
             Activity(
-                pricing.client_backward_s(client_id, cut),
+                pricing.client_backward_demand(client_id, cut),
                 "client_compute",
                 actor,
                 detail="backward",

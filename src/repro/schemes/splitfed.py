@@ -50,21 +50,24 @@ class SplitFedLearning(Scheme):
 
     def _run_round(self, round_index: int) -> list[Stage]:
         pricing = self._pricing
-        share = pricing.total_bandwidth_hz / self.num_clients
+        participants = self._round_participants()
+        if not participants:
+            return []
+        share = pricing.total_bandwidth_hz / len(participants)
         client_model_bytes = pricing.client_model_nbytes(self.cut_layer)
 
-        # Parent thread: sample every client's batches and price every
-        # transmission (shared fading stream) in protocol order, then hand
-        # the N independent client pipelines to the executor — SplitFed is
-        # GSFL with singleton groups, and reuses the same round engine.
+        # Parent thread: sample every client's batches and build every
+        # transmission demand (shared fading stream) in protocol order,
+        # then hand the independent client pipelines to the executor —
+        # SplitFed is GSFL with singleton groups, same round engine.
         training = Stage("parallel_training")
         tasks: list[GroupTask] = []
-        for client in range(self.num_clients):
+        for client in participants:
             track = f"client-{client}"
             training.add(
                 track,
                 Activity(
-                    pricing.downlink_model_s(client, client_model_bytes, share),
+                    pricing.downlink_model_demand(client, client_model_bytes, share),
                     "model_distribution",
                     track,
                     nbytes=client_model_bytes,
@@ -83,7 +86,7 @@ class SplitFedLearning(Scheme):
             training.add(
                 track,
                 Activity(
-                    pricing.uplink_model_s(client, client_model_bytes, share),
+                    pricing.uplink_model_demand(client, client_model_bytes, share),
                     "model_upload",
                     track,
                     nbytes=client_model_bytes,
@@ -103,10 +106,10 @@ class SplitFedLearning(Scheme):
         results = run_group_tasks(
             tasks, self.executor, self.split, SplitHyperParams.from_config(self.config)
         )
-        self._last_train_loss = sum(r.loss_sum for r in results) / self.num_clients
+        self._last_train_loss = sum(r.loss_sum for r in results) / len(participants)
 
         aggregation = Stage("aggregation")
-        weights = self._client_sample_counts()
+        weights = self._client_sample_counts(participants)
         self._global_client_state = fedavg([r.client_state for r in results], weights)
         self._global_server_state = fedavg([r.server_state for r in results], weights)
         self.split.client.load_state_dict(self._global_client_state, copy=False)
@@ -114,7 +117,9 @@ class SplitFedLearning(Scheme):
         aggregation.add(
             "edge-server",
             Activity(
-                pricing.aggregation_s(self.num_clients, self.model.num_parameters()),
+                pricing.aggregation_demand(
+                    len(participants), self.model.num_parameters()
+                ),
                 "aggregation",
                 "edge-server",
             ),

@@ -1,14 +1,28 @@
 """``repro.sim`` — deterministic discrete-event simulation kernel.
 
 Generator-coroutine processes over a heap-driven event loop (SimPy-style),
-counting-semaphore resources, a processor-sharing shared-link model, and
-latency trace recording.  The wireless training schemes are expressed as
-processes over this kernel.
+counting-semaphore resources, a policy-driven shared-link model, latency
+trace recording, and a demand-resolving :class:`~repro.sim.runtime.Runtime`
+that prices compute/transmission demands during replay.  The wireless
+training schemes are expressed as processes over this kernel.
 """
 
 from repro.sim.engine import Environment, Process
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
-from repro.sim.resources import FairShareLink, Resource
+from repro.sim.resources import (
+    EqualShare,
+    FairShareLink,
+    NominalShare,
+    Resource,
+    SharePolicy,
+)
+from repro.sim.runtime import (
+    ComputeDemand,
+    FixedDemand,
+    Runtime,
+    TransmitDemand,
+    TransmitLeg,
+)
 from repro.sim.trace import PHASES, TraceEvent, TraceRecorder
 
 __all__ = [
@@ -19,7 +33,15 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Resource",
+    "SharePolicy",
+    "EqualShare",
+    "NominalShare",
     "FairShareLink",
+    "FixedDemand",
+    "ComputeDemand",
+    "TransmitLeg",
+    "TransmitDemand",
+    "Runtime",
     "TraceEvent",
     "TraceRecorder",
     "PHASES",

@@ -2,25 +2,51 @@
 
 :class:`Resource` is a counting semaphore with FIFO queueing — used to
 model the edge server's limited pool of server-side model replicas (GSFL
-hosts ``M`` replicas; a group must hold one to train).
+hosts ``M`` replicas; a group must hold one to train) and per-device
+compute exclusivity in the runtime.
 
-:class:`FairShareLink` models a shared wireless medium as an egalitarian
-processor-sharing queue: ``capacity_bps`` is divided equally among the
-flows in flight, and each flow's completion time is recomputed whenever
-membership changes.  This captures the contention GSFL creates when all
-``M`` groups transmit concurrently — the effect behind the latency
-crossover between GSFL and SL for large ``M``.
+:class:`FairShareLink` models a shared wireless medium: a fixed capacity
+is divided among the flows in flight by a pluggable :class:`SharePolicy`,
+and each flow's completion time is recomputed whenever its allocation
+changes.  Flows may carry a ``rate_fn`` translating their allocated
+capacity (e.g. bandwidth in Hz) into an instantaneous bitrate — this is
+how per-client Shannon rates with frozen fading realizations ride on the
+shared medium.  This captures the contention GSFL creates when all ``M``
+groups transmit concurrently — the effect behind the latency crossover
+between GSFL and SL for large ``M``.
+
+Policies:
+
+* :class:`EqualShare` — egalitarian processor sharing (the default, and
+  the original behaviour: ``capacity / n_active`` each);
+* :class:`NominalShare` — static subchannels: every flow holds exactly
+  the nominal allocation it declared at :meth:`FairShareLink.transfer`
+  time, scaled down proportionally only when the medium is
+  oversubscribed.  Allocations are membership-independent, so completion
+  times are never rescheduled and each flow's duration is *exactly*
+  ``nbits / rate_fn(nominal)`` — the analytic static-share model.
+
+Contention-aware policies driven by the wireless allocators live in
+:func:`repro.wireless.bandwidth.as_share_policy` (structural typing; the
+kernel only calls ``policy.allocate``).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from repro.sim.engine import Environment
 from repro.sim.events import Event
 
-__all__ = ["Resource", "FairShareLink"]
+__all__ = [
+    "Resource",
+    "SharePolicy",
+    "EqualShare",
+    "NominalShare",
+    "FairShareLink",
+]
 
 
 class Resource:
@@ -79,35 +105,113 @@ class _Flow:
     remaining_bits: float
     done: Event
     last_update: float
+    client: "int | None" = None
+    rate_fn: "Callable[[float], float] | None" = None
+    nominal: "float | None" = None
+    bps: float = 0.0
     completion: Event | None = field(default=None)
 
 
-class FairShareLink:
-    """Egalitarian processor-sharing model of a shared medium.
+class SharePolicy:
+    """Divides a link's capacity among the flows currently in flight."""
 
-    All active flows receive ``capacity_bps / n_active``.  On every arrival
-    or departure the remaining bits of each flow are decremented by the
-    service received since the last membership change and completion events
-    are rescheduled.  With a single flow this reduces to
-    ``bits / capacity_bps`` exactly.
+    name = "base"
+
+    def allocate(self, flows: Sequence[_Flow], capacity: float) -> list[float]:
+        """Capacity units granted to each flow (same order as ``flows``)."""
+        raise NotImplementedError
+
+
+class EqualShare(SharePolicy):
+    """Egalitarian processor sharing: ``capacity / n_active`` each."""
+
+    name = "equal"
+
+    def allocate(self, flows: Sequence[_Flow], capacity: float) -> list[float]:
+        share = capacity / len(flows)
+        return [share] * len(flows)
+
+
+class NominalShare(SharePolicy):
+    """Static subchannels: each flow holds its declared nominal allocation.
+
+    Oversubscription (sum of nominals beyond capacity, modulo float
+    round-off) scales every allocation proportionally — graceful
+    congestion instead of an impossible over-capacity schedule.
     """
 
-    def __init__(self, env: Environment, capacity_bps: float) -> None:
+    name = "nominal"
+
+    def allocate(self, flows: Sequence[_Flow], capacity: float) -> list[float]:
+        for flow in flows:
+            if flow.nominal is None:
+                raise ValueError(
+                    "NominalShare requires every transfer to declare a "
+                    "nominal allocation"
+                )
+        total = sum(flow.nominal for flow in flows)
+        if total > capacity * (1.0 + 1e-9):
+            scale = capacity / total
+            return [flow.nominal * scale for flow in flows]
+        return [flow.nominal for flow in flows]
+
+
+class FairShareLink:
+    """Shared-medium model with policy-driven capacity division.
+
+    On every arrival or departure the remaining bits of each flow are
+    decremented by the service received since the last membership change,
+    the policy re-allocates capacity, and completion events are
+    rescheduled for flows whose instantaneous bitrate changed.  Flows
+    whose allocation is membership-independent (:class:`NominalShare`)
+    keep their original completion time exactly.  With the default
+    :class:`EqualShare` policy and no ``rate_fn``, a single flow reduces
+    to ``bits / capacity`` exactly.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity_bps: float,
+        policy: SharePolicy | None = None,
+    ) -> None:
         if capacity_bps <= 0:
             raise ValueError(f"capacity_bps must be positive, got {capacity_bps}")
         self.env = env
         self.capacity_bps = capacity_bps
+        self.policy = policy if policy is not None else EqualShare()
         self._flows: list[_Flow] = []
 
-    def transfer(self, nbits: float) -> Event:
-        """Start a transfer; returns an event fired at completion."""
+    def transfer(
+        self,
+        nbits: float,
+        *,
+        client: int | None = None,
+        rate_fn: Callable[[float], float] | None = None,
+        nominal: float | None = None,
+    ) -> Event:
+        """Start a transfer; returns an event fired at completion.
+
+        ``rate_fn`` maps the flow's allocated capacity to an instantaneous
+        bitrate (identity when omitted: allocated capacity *is* the
+        bitrate).  ``client`` attributes the flow for client-aware
+        policies; ``nominal`` declares the static-model allocation used by
+        :class:`NominalShare` and as a policy weight.
+        """
         if nbits <= 0:
             raise ValueError(f"nbits must be positive, got {nbits}")
-        done = Event(self.env)
         self._settle()
-        self._flows.append(_Flow(remaining_bits=float(nbits), done=done, last_update=self.env.now))
-        self._reschedule()
-        return done
+        flow = _Flow(
+            remaining_bits=float(nbits),
+            done=Event(self.env),
+            last_update=self.env.now,
+            client=client,
+            rate_fn=rate_fn,
+            nominal=nominal,
+        )
+        self._flows.append(flow)
+        self._reallocate()
+        return flow.done
 
     @property
     def active_flows(self) -> int:
@@ -116,40 +220,47 @@ class FairShareLink:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _rate_per_flow(self) -> float:
-        return self.capacity_bps / max(len(self._flows), 1)
-
     def _settle(self) -> None:
         """Charge elapsed service to every active flow."""
         now = self.env.now
-        rate = self._rate_per_flow()
         for flow in self._flows:
             elapsed = now - flow.last_update
-            flow.remaining_bits = max(0.0, flow.remaining_bits - elapsed * rate)
+            if elapsed > 0.0 and flow.bps > 0.0:
+                flow.remaining_bits = max(0.0, flow.remaining_bits - elapsed * flow.bps)
             flow.last_update = now
 
-    def _reschedule(self) -> None:
-        """Recompute completion times for all flows after a change."""
-        rate = self._rate_per_flow()
-        for flow in self._flows:
-            # Invalidate any previously scheduled completion by swapping in
-            # a fresh internal event.
+    def _reallocate(self) -> None:
+        """Re-divide capacity; reschedule flows whose bitrate changed."""
+        if not self._flows:
+            return
+        allocations = self.policy.allocate(list(self._flows), self.capacity_bps)
+        for flow, allocated in zip(self._flows, allocations):
+            bps = flow.rate_fn(allocated) if flow.rate_fn is not None else allocated
+            if flow.completion is not None and bps == flow.bps:
+                continue  # unchanged rate: the scheduled completion stands
+            flow.bps = bps
+            if bps <= 0.0:
+                # Starved flow: stalls until the next membership change.
+                flow.completion = None
+                continue
             completion = Event(self.env)
             flow.completion = completion
-            eta = flow.remaining_bits / rate
+            eta = flow.remaining_bits / bps
             self.env._schedule(self.env.now + eta, completion, None)
             completion.add_callback(self._make_finisher(flow, completion))
 
     def _make_finisher(self, flow: _Flow, completion: Event):
         def _finish(_: Event) -> None:
-            # Stale completion (membership changed since scheduling): ignore.
+            # Stale completion (rate changed since scheduling): ignore.
             if flow.completion is not completion or flow.done.triggered:
                 return
+            # The live completion event is authoritative: the flow's rate
+            # has not changed since it was scheduled, so the transfer is
+            # done now regardless of float residue in remaining_bits.
             self._settle()
-            if flow.remaining_bits > 1e-9:
-                return  # numerical guard; a reschedule will finish it
+            flow.remaining_bits = 0.0
             self._flows.remove(flow)
-            self._reschedule()
+            self._reallocate()
             flow.done.succeed()
 
         return _finish

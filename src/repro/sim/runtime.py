@@ -1,0 +1,309 @@
+"""Demand-resolving execution runtime over the discrete-event kernel.
+
+Schemes describe **what** each protocol step needs — FLOPs on a device,
+bytes over the shared wireless medium — and the runtime decides **how
+long** it takes, *during replay*, from the simulation's instantaneous
+state.  This inverts the old pipeline where every activity arrived
+pre-priced with a fixed duration and the kernel merely re-enacted it:
+with a contention-aware share policy, a transmission started while three
+other pipelines are on the air runs slower than the same transmission
+started alone, exactly the coupling behind the paper's GSFL-vs-SL
+latency crossover.
+
+Demand vocabulary (``float`` is shorthand for :class:`FixedDemand` —
+zero-priced mode and tests):
+
+* :class:`FixedDemand` — a pre-resolved duration;
+* :class:`ComputeDemand` — FLOPs against a device's throughput; the
+  runtime applies per-round straggler multipliers at resolve time and
+  serializes each client device through a capacity-1 FIFO
+  :class:`~repro.sim.resources.Resource`;
+* :class:`TransmitDemand` — bytes over the shared medium, as one or more
+  sequential :class:`TransmitLeg` s (a client→AP→client relay is two
+  legs).  Each leg carries a ``rate_fn`` mapping allocated bandwidth
+  (Hz) to an instantaneous bitrate with the leg's fading realization
+  frozen inside, so the *realization* is drawn in protocol order at
+  demand-construction time while the *duration* is resolved by the
+  :class:`~repro.sim.resources.FairShareLink` at replay time.
+
+Every demand exposes two analytic views: ``nominal_s`` (the static-share
+model — the duration under the demand's declared nominal bandwidth, i.e.
+the pre-refactor pricing) and ``lower_bound_s`` (the duration with the
+whole medium to itself and no straggler slowdown — a true lower bound
+under any share policy, since no flow can be allocated more than the
+total bandwidth).
+
+One :class:`Runtime` persists per training run: a single
+:class:`~repro.sim.engine.Environment` whose clock never restarts, so
+trace events carry absolute timestamps with no per-round offset
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING, Callable, Union
+
+from repro.sim.engine import Environment
+from repro.sim.resources import FairShareLink, NominalShare, Resource, SharePolicy
+from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (layering)
+    from repro.schemes.base import Stage
+
+__all__ = [
+    "FixedDemand",
+    "ComputeDemand",
+    "TransmitLeg",
+    "TransmitDemand",
+    "Demand",
+    "demand_lower_bound_s",
+    "demand_nominal_s",
+    "Runtime",
+]
+
+
+@dataclass(frozen=True)
+class FixedDemand:
+    """A pre-resolved duration (zero-priced mode, waits, tests)."""
+
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ValueError(f"negative duration: {self.duration_s}")
+
+    @property
+    def lower_bound_s(self) -> float:
+        return self.duration_s
+
+    @property
+    def nominal_s(self) -> float:
+        return self.duration_s
+
+
+@dataclass(frozen=True)
+class ComputeDemand:
+    """``flops`` of work against a device running at ``flops_per_s``.
+
+    ``client`` is ``None`` for the edge server (never straggles, never
+    serialized — the paper's "abundant" edge resources); ``multiplier``
+    prices batched work as a multiple of one unit (PSL's fused server
+    batch is ``N×`` one group-batch step).
+    """
+
+    flops: float
+    flops_per_s: float
+    client: int | None = None
+    multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0:
+            raise ValueError(f"negative flops: {self.flops}")
+        if self.flops_per_s <= 0:
+            raise ValueError(f"flops_per_s must be positive, got {self.flops_per_s}")
+
+    @property
+    def base_seconds(self) -> float:
+        return self.flops / self.flops_per_s * self.multiplier
+
+    @property
+    def lower_bound_s(self) -> float:
+        return self.base_seconds
+
+    @property
+    def nominal_s(self) -> float:
+        return self.base_seconds
+
+
+@dataclass(frozen=True)
+class TransmitLeg:
+    """One directed hop of a transmission.
+
+    ``rate_fn`` maps allocated bandwidth in Hz to an achievable bitrate
+    in bit/s, with the hop's block-fading realization frozen inside (the
+    draw happened in protocol order when the demand was built).
+    """
+
+    nbits: float
+    client: int
+    rate_fn: Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class TransmitDemand:
+    """Bytes over the shared medium: sequential legs + bandwidth context.
+
+    ``nominal_hz`` is the static-model allocation (what the analytic
+    pricing assumed, e.g. ``B/M`` for a GSFL group); ``total_hz`` is the
+    whole medium, bounding any policy's allocation from above.
+    """
+
+    legs: tuple[TransmitLeg, ...]
+    nominal_hz: float
+    total_hz: float
+
+    def __post_init__(self) -> None:
+        if not self.legs:
+            raise ValueError("TransmitDemand needs at least one leg")
+        if not 0 < self.nominal_hz <= self.total_hz:
+            raise ValueError(
+                f"nominal_hz must be in (0, total_hz]; got "
+                f"{self.nominal_hz} of {self.total_hz}"
+            )
+
+    @cached_property
+    def nominal_s(self) -> float:
+        """Duration under the static nominal share (pre-refactor model)."""
+        return sum(leg.nbits / leg.rate_fn(self.nominal_hz) for leg in self.legs)
+
+    @cached_property
+    def lower_bound_s(self) -> float:
+        """Duration with the whole medium to itself (true lower bound)."""
+        return sum(leg.nbits / leg.rate_fn(self.total_hz) for leg in self.legs)
+
+
+Demand = Union[float, FixedDemand, ComputeDemand, TransmitDemand]
+
+
+def demand_lower_bound_s(demand: Demand) -> float:
+    """Analytic lower bound of a demand's resolved duration."""
+    if isinstance(demand, (int, float)):
+        return float(demand)
+    return demand.lower_bound_s
+
+
+def demand_nominal_s(demand: Demand) -> float:
+    """Static-share analytic duration of a demand (pre-refactor model)."""
+    if isinstance(demand, (int, float)):
+        return float(demand)
+    return demand.nominal_s
+
+
+class Runtime:
+    """Persistent per-run execution substrate: clock + devices + medium.
+
+    Parameters
+    ----------
+    total_bandwidth_hz:
+        Capacity of the shared wireless medium.  ``None`` (zero-priced
+        runs) resolves every transmit demand at its nominal share.
+    share_policy:
+        How the medium divides bandwidth among instantaneously active
+        flows.  ``None`` keeps the static-subchannel semantics
+        (:class:`~repro.sim.resources.NominalShare`: every flow at its
+        nominal share — durations match the analytic model exactly); a
+        policy such as :func:`repro.wireless.bandwidth.as_share_policy`
+        makes the medium contention-aware.
+    """
+
+    def __init__(
+        self,
+        total_bandwidth_hz: float | None = None,
+        share_policy: SharePolicy | None = None,
+    ) -> None:
+        self.env = Environment()
+        self.medium: FairShareLink | None = None
+        if total_bandwidth_hz is not None:
+            self.medium = FairShareLink(
+                self.env, total_bandwidth_hz, policy=share_policy or NominalShare()
+            )
+        self._devices: dict[int, Resource] = {}
+
+    @property
+    def now(self) -> float:
+        """Absolute simulated time (never restarts within a run)."""
+        return self.env.now
+
+    def advance_to(self, t: float) -> None:
+        """Advance the clock to absolute time ``t`` (waiting out churn).
+
+        Pops any stale scheduled events on the way; a target in the past
+        is a no-op.
+        """
+        if t > self.env.now:
+            self.env.run(until=t)
+
+    def device(self, client: int) -> Resource:
+        """Capacity-1 FIFO resource serializing one client device."""
+        resource = self._devices.get(client)
+        if resource is None:
+            resource = Resource(self.env, capacity=1)
+            self._devices[client] = resource
+        return resource
+
+    # ------------------------------------------------------------------
+    # round execution
+    # ------------------------------------------------------------------
+    def execute_round(
+        self,
+        stages: "list[Stage]",
+        recorder: TraceRecorder | None,
+        round_index: int,
+        compute_slowdown: dict[int, float] | None = None,
+    ) -> float:
+        """Run a round's stages to completion; returns the round duration.
+
+        One process per track; an all-of barrier between stages.  Trace
+        events carry the environment's absolute timestamps.
+        ``compute_slowdown`` maps client index → multiplicative straggler
+        factor applied to that client's compute demands this round.
+        """
+        env = self.env
+        start = env.now
+
+        def track_process(activities):
+            for act in activities:
+                begin = env.now
+                yield from self._perform(act.demand, compute_slowdown)
+                if recorder is not None:
+                    recorder.record(
+                        start=begin,
+                        end=env.now,
+                        phase=act.phase,
+                        actor=act.actor,
+                        round_index=round_index,
+                        nbytes=act.nbytes,
+                        detail=act.detail,
+                    )
+
+        def round_process():
+            for stage in stages:
+                if not stage.tracks:
+                    continue
+                procs = [env.process(track_process(acts)) for acts in stage.tracks.values()]
+                yield env.all_of(procs)
+
+        done = env.process(round_process())
+        env.run(done)
+        return env.now - start
+
+    # ------------------------------------------------------------------
+    # demand resolution
+    # ------------------------------------------------------------------
+    def _perform(self, demand: Demand, slowdown: dict[int, float] | None):
+        if isinstance(demand, TransmitDemand) and self.medium is not None:
+            for leg in demand.legs:
+                yield self.medium.transfer(
+                    leg.nbits,
+                    client=leg.client,
+                    rate_fn=leg.rate_fn,
+                    nominal=demand.nominal_hz,
+                )
+            return
+        if isinstance(demand, ComputeDemand):
+            seconds = demand.base_seconds
+            if slowdown and demand.client is not None:
+                seconds *= slowdown.get(demand.client, 1.0)
+            if demand.client is not None:
+                device = self.device(demand.client)
+                yield device.request()
+                yield self.env.timeout(seconds)
+                device.release()
+            else:
+                yield self.env.timeout(seconds)
+            return
+        # FixedDemand / float, or a TransmitDemand without a medium
+        # (static subchannels): resolve at the nominal share.
+        yield self.env.timeout(demand_nominal_s(demand))

@@ -117,6 +117,23 @@ class TraceRecorder:
     def total_bytes(self) -> int:
         return sum(e.nbytes for e in self.events)
 
+    def to_rows(self) -> list[dict]:
+        """Events as plain dicts (JSONL export, external tooling)."""
+        return [
+            {
+                "type": "activity",
+                "start_s": e.start,
+                "end_s": e.end,
+                "duration_s": e.duration,
+                "phase": e.phase,
+                "actor": e.actor,
+                "round": e.round_index,
+                "nbytes": e.nbytes,
+                "detail": e.detail,
+            }
+            for e in self.events
+        ]
+
     def filter(
         self, phases: Iterable[str] | None = None, actor_prefix: str | None = None
     ) -> list[TraceEvent]:

@@ -16,6 +16,8 @@ candidates and expose them for the resource-allocation ablation:
 
 from __future__ import annotations
 
+from collections import Counter
+
 import numpy as np
 
 from repro.utils.validation import check_positive
@@ -27,6 +29,8 @@ __all__ = [
     "ProportionalRateAllocation",
     "InverseRateAllocation",
     "make_allocator",
+    "AllocatorSharePolicy",
+    "as_share_policy",
 ]
 
 
@@ -123,3 +127,65 @@ def make_allocator(name: str, total_bandwidth_hz: float) -> BandwidthAllocator:
     if name not in _ALLOCATORS:
         raise ValueError(f"unknown allocator {name!r}; choose from {sorted(_ALLOCATORS)}")
     return _ALLOCATORS[name](total_bandwidth_hz)
+
+
+class AllocatorSharePolicy:
+    """Adapts a :class:`BandwidthAllocator` into a DES medium share policy.
+
+    On every membership change of the shared link, the *instantaneously
+    active* transmitter set is re-allocated by the wrapped policy — so
+    the static per-round allocation rules (equal / proportional-rate /
+    inverse-rate) become contention-aware: a flow's bandwidth grows when
+    other pipelines fall silent and shrinks when they come on the air.
+    Duck-typed against :class:`repro.sim.resources.SharePolicy` (the
+    kernel only calls :meth:`allocate`), keeping ``repro.sim`` free of
+    wireless imports.
+    """
+
+    def __init__(self, allocator: BandwidthAllocator, channel: WirelessChannel) -> None:
+        self.allocator = allocator
+        self.channel = channel
+        self.name = f"allocator:{allocator.name}"
+        # shares() depends only on the active client set (mean SNR, no
+        # fading), and membership churn re-asks for the same sets over
+        # and over — memoize per frozenset of clients.
+        self._share_cache: dict[frozenset, dict[int, float]] = {}
+
+    def _shares_for(self, clients: frozenset) -> dict[int, float]:
+        cached = self._share_cache.get(clients)
+        if cached is None:
+            cached = self.allocator.shares(sorted(clients), self.channel)
+            self._share_cache[clients] = cached
+        return cached
+
+    def allocate(self, flows: list, capacity: float) -> list[float]:
+        """Bandwidth (Hz) per flow from the allocator over active clients.
+
+        A client with several concurrent flows splits its share equally
+        among them.  Flows without a client attribution take an equal
+        fraction of the capacity and the allocator distributes only the
+        remainder, so the summed allocation never exceeds the link.
+        """
+        counts = Counter(flow.client for flow in flows if flow.client is not None)
+        if not counts:
+            share = capacity / len(flows)
+            return [share] * len(flows)
+        shares = self._shares_for(frozenset(counts))
+        unattributed = sum(1 for flow in flows if flow.client is None)
+        fallback = capacity / len(flows)
+        # The allocator hands out the full capacity; scale attributed
+        # shares down by whatever the unattributed flows reserve.
+        scale = 1.0 - unattributed / len(flows)
+        return [
+            shares[flow.client] * scale / counts[flow.client]
+            if flow.client is not None
+            else fallback
+            for flow in flows
+        ]
+
+
+def as_share_policy(
+    allocator: BandwidthAllocator, channel: WirelessChannel
+) -> AllocatorSharePolicy:
+    """Contention-aware DES share policy driven by ``allocator``."""
+    return AllocatorSharePolicy(allocator, channel)

@@ -107,27 +107,57 @@ class WirelessChannel:
         )
         return float(pl + self._shadowing_db[client])
 
-    def _snr_linear(self, client: int, tx_power_dbm: float, bandwidth_hz: float) -> float:
+    def draw_fading(self) -> float:
+        """One Rayleigh block-fading power realization (1.0 when disabled).
+
+        Consumes the channel's shared stream, so callers that freeze a
+        realization for later rate evaluation (the demand-based runtime)
+        draw in exactly the same protocol order as direct rate calls.
+        """
+        if self.config.rayleigh_fading:
+            return float(self._rng.exponential(1.0))
+        return 1.0
+
+    def _snr_linear(
+        self,
+        client: int,
+        tx_power_dbm: float,
+        bandwidth_hz: float,
+        fading: float | None = None,
+    ) -> float:
         cfg = self.config
         rx_dbm = tx_power_dbm - self.path_loss_db(client)
         noise_dbm = (
             NOISE_DBM_PER_HZ + 10.0 * np.log10(bandwidth_hz) + cfg.noise_figure_db
         )
         snr = db_to_linear(rx_dbm - noise_dbm)
-        if cfg.rayleigh_fading:
-            snr *= self._rng.exponential(1.0)
+        if fading is None:
+            fading = self.draw_fading()
+        snr *= fading
         return float(max(snr, db_to_linear(cfg.min_snr_db)))
 
-    def uplink_rate_bps(self, client: int, bandwidth_hz: float) -> float:
-        """Achievable client→AP rate over ``bandwidth_hz`` (one realization)."""
+    def uplink_rate_bps(
+        self, client: int, bandwidth_hz: float, fading: float | None = None
+    ) -> float:
+        """Achievable client→AP rate over ``bandwidth_hz``.
+
+        ``fading`` fixes the block-fading realization (no stream draw);
+        ``None`` draws a fresh one.
+        """
         check_positive("bandwidth_hz", bandwidth_hz)
-        snr = self._snr_linear(client, self.config.tx_power_dbm, bandwidth_hz)
+        snr = self._snr_linear(client, self.config.tx_power_dbm, bandwidth_hz, fading)
         return float(bandwidth_hz * np.log2(1.0 + snr))
 
-    def downlink_rate_bps(self, client: int, bandwidth_hz: float) -> float:
-        """Achievable AP→client rate over ``bandwidth_hz`` (one realization)."""
+    def downlink_rate_bps(
+        self, client: int, bandwidth_hz: float, fading: float | None = None
+    ) -> float:
+        """Achievable AP→client rate over ``bandwidth_hz``.
+
+        ``fading`` fixes the block-fading realization (no stream draw);
+        ``None`` draws a fresh one.
+        """
         check_positive("bandwidth_hz", bandwidth_hz)
-        snr = self._snr_linear(client, self.config.ap_tx_power_dbm, bandwidth_hz)
+        snr = self._snr_linear(client, self.config.ap_tx_power_dbm, bandwidth_hz, fading)
         return float(bandwidth_hz * np.log2(1.0 + snr))
 
     def mean_uplink_rate_bps(

@@ -46,6 +46,11 @@ class EnergyReport:
     def total_j(self) -> float:
         return self.tx_j + self.rx_j + self.compute_j + self.idle_j
 
+    @classmethod
+    def zero(cls) -> "EnergyReport":
+        """Additive identity (start value for ``sum`` over reports)."""
+        return cls(0.0, 0.0, 0.0, 0.0)
+
     def __add__(self, other: "EnergyReport") -> "EnergyReport":
         return EnergyReport(
             self.tx_j + other.tx_j,
@@ -55,7 +60,7 @@ class EnergyReport:
         )
 
 
-_ZERO = EnergyReport(0.0, 0.0, 0.0, 0.0)
+_ZERO = EnergyReport.zero()
 
 
 class EnergyModel:

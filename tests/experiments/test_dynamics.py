@@ -1,0 +1,191 @@
+"""Scenario-dynamics tests: churn windows, participation, stragglers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.dynamics import ClientDynamics, DynamicsConfig
+from repro.experiments.runner import make_scheme
+from repro.experiments.scenario import fast_scenario
+
+
+class TestDynamicsConfig:
+    def test_defaults_are_identity(self):
+        cfg = DynamicsConfig()
+        assert cfg.participation == 1.0
+        assert not cfg.has_churn
+        assert cfg.straggler_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicsConfig(participation=0.0)
+        with pytest.raises(ValueError):
+            DynamicsConfig(participation=1.5)
+        with pytest.raises(ValueError):
+            DynamicsConfig(churn_uptime_s=10.0)  # downtime missing
+        with pytest.raises(ValueError):
+            DynamicsConfig(straggler_rate=1.5)
+        with pytest.raises(ValueError):
+            DynamicsConfig(straggler_slowdown=0.5)
+
+
+class TestAvailabilityTrace:
+    def test_no_churn_always_available(self):
+        dyn = ClientDynamics(DynamicsConfig(), num_clients=4)
+        assert all(dyn.available_at(c, 1e9) for c in range(4))
+
+    def test_churn_is_deterministic_per_seed(self):
+        cfg = DynamicsConfig(churn_uptime_s=10.0, churn_downtime_s=5.0, seed=7)
+        a = ClientDynamics(cfg, num_clients=5)
+        b = ClientDynamics(cfg, num_clients=5)
+        ts = np.linspace(0.0, 200.0, 101)
+        for c in range(5):
+            assert [a.available_at(c, t) for t in ts] == [
+                b.available_at(c, t) for t in ts
+            ]
+
+    def test_churn_independent_of_query_order(self):
+        cfg = DynamicsConfig(churn_uptime_s=3.0, churn_downtime_s=3.0, seed=1)
+        forward = ClientDynamics(cfg, num_clients=3)
+        backward = ClientDynamics(cfg, num_clients=3)
+        got_fwd = {c: forward.available_at(c, 50.0) for c in range(3)}
+        got_bwd = {c: backward.available_at(c, 50.0) for c in reversed(range(3))}
+        assert got_fwd == got_bwd
+
+    def test_clients_start_up_and_eventually_cycle(self):
+        cfg = DynamicsConfig(churn_uptime_s=2.0, churn_downtime_s=2.0, seed=0)
+        dyn = ClientDynamics(cfg, num_clients=8)
+        assert all(dyn.available_at(c, 0.0) for c in range(8))
+        # Over a long horizon every client must have been down at least once.
+        ts = np.linspace(0.0, 100.0, 2001)
+        for c in range(8):
+            assert not all(dyn.available_at(c, t) for t in ts)
+
+    def test_windows_alternate_and_tile(self):
+        cfg = DynamicsConfig(churn_uptime_s=4.0, churn_downtime_s=2.0, seed=3)
+        dyn = ClientDynamics(cfg, num_clients=1)
+        windows = dyn.availability_windows(0, until=60.0)
+        assert windows, "expected at least one up-window"
+        for start, end in windows:
+            assert end > start
+            mid = (start + end) / 2
+            assert dyn.available_at(0, mid)
+
+
+class TestRoundConditions:
+    def test_full_participation_without_dynamics_features(self):
+        dyn = ClientDynamics(DynamicsConfig(), num_clients=6)
+        cond = dyn.begin_round(0, 0.0)
+        assert cond.participants == tuple(range(6))
+        assert cond.slowdowns == {}
+
+    def test_partial_participation_samples_subset(self):
+        dyn = ClientDynamics(DynamicsConfig(participation=0.5, seed=2), num_clients=10)
+        cond = dyn.begin_round(0, 0.0)
+        assert len(cond.participants) == 5
+        assert set(cond.participants) <= set(range(10))
+        assert list(cond.participants) == sorted(cond.participants)
+
+    def test_participation_respects_min_participants(self):
+        dyn = ClientDynamics(
+            DynamicsConfig(participation=0.01, min_participants=2), num_clients=8
+        )
+        cond = dyn.begin_round(0, 0.0)
+        assert len(cond.participants) == 2
+
+    def test_stragglers_have_configured_slowdown(self):
+        dyn = ClientDynamics(
+            DynamicsConfig(straggler_rate=1.0, straggler_slowdown=3.5), num_clients=4
+        )
+        cond = dyn.begin_round(0, 0.0)
+        assert set(cond.slowdowns) == set(range(4))
+        assert all(v == 3.5 for v in cond.slowdowns.values())
+
+
+class TestSchemesUnderDynamics:
+    def _scenario(self, **dyn_kwargs):
+        scenario = fast_scenario(with_wireless=True)
+        scenario.dynamics = DynamicsConfig(**dyn_kwargs)
+        return scenario
+
+    def test_fl_partial_participation_traces_fewer_uploads(self):
+        scenario = self._scenario(participation=0.5, seed=0)
+        scheme = make_scheme("FL", scenario.build())
+        scheme.run(1)
+        uploads = scheme.recorder.filter(phases=["model_upload"])
+        assert len(uploads) == 3  # 6 clients at 50%
+
+    @pytest.mark.parametrize("name", ["FL", "SL", "SplitFed", "PSL", "GSFL"])
+    def test_schemes_run_under_churn(self, name):
+        scenario = self._scenario(
+            churn_uptime_s=0.5, churn_downtime_s=0.5, participation=0.9, seed=4
+        )
+        scheme = make_scheme(name, scenario.build())
+        history = scheme.run(3)
+        assert len(history) == 3
+        assert np.isfinite(history.total_latency_s)
+
+    def test_gsfl_churn_changes_latency_and_participation(self):
+        plain = make_scheme("GSFL", fast_scenario(with_wireless=True).build()).run(3)
+        scenario = self._scenario(churn_uptime_s=0.4, churn_downtime_s=0.4, seed=9)
+        churned_scheme = make_scheme("GSFL", scenario.build())
+        churned = churned_scheme.run(3)
+        assert churned.total_latency_s != pytest.approx(plain.total_latency_s)
+
+    def test_straggler_latency_grows_with_slowdown(self):
+        lat = []
+        for slowdown in (1.0, 8.0):
+            scenario = self._scenario(
+                straggler_rate=1.0, straggler_slowdown=slowdown, seed=0
+            )
+            lat.append(
+                make_scheme("GSFL", scenario.build()).run(1).total_latency_s
+            )
+        assert lat[1] > lat[0] * 1.5
+
+    def test_all_down_window_advances_clock_instead_of_freezing(self):
+        """When every client is down at a round start the driver waits
+        for the first recovery instead of replaying the same all-down
+        snapshot at a frozen clock forever."""
+        # Mean up-window of 1 ms vs rounds of ~100 ms: after round 0
+        # every client is down with overwhelming probability, so round 1
+        # must wait out the first recovery instead of freezing at 0 cost.
+        scenario = self._scenario(
+            churn_uptime_s=0.001, churn_downtime_s=50.0, seed=3
+        )
+        scheme = make_scheme("FL", scenario.build())
+        history = scheme.run(3)
+        assert len(history) == 3
+        assert history.total_latency_s > 1.0  # spans a waited-out window
+        lats = [p.latency_s for p in history.points]
+        assert all(b > a for a, b in zip(lats, lats[1:]))
+
+    def test_next_recovery_reports_earliest_up_transition(self):
+        cfg = DynamicsConfig(churn_uptime_s=1.0, churn_downtime_s=100.0, seed=3)
+        dyn = ClientDynamics(cfg, num_clients=6)
+        t = 500.0
+        resume = dyn.next_recovery_s(t)
+        if resume is not None:
+            assert resume > t
+            down_now = [c for c in range(6) if not dyn.available_at(c, t)]
+            assert any(dyn.available_at(c, resume) for c in down_now)
+        assert ClientDynamics(DynamicsConfig(), 3).next_recovery_s(0.0) is None
+
+    def test_all_clients_down_skips_round_gracefully(self):
+        """A round with zero participants must not crash; the model simply
+        carries over and the round costs nothing."""
+        from repro.experiments.dynamics import RoundConditions
+
+        scenario = fast_scenario(with_wireless=True)
+        built = scenario.build()
+        scheme = make_scheme("FL", built)
+
+        class Nobody:
+            def begin_round(self, r, now):
+                return RoundConditions(r, (), (), {})
+
+        scheme.dynamics = Nobody()
+        history = scheme.run(1)
+        assert len(history) == 1
+        assert history.total_latency_s == 0.0

@@ -1,0 +1,139 @@
+"""Acceptance tests for the demand-based runtime.
+
+* **Parity** — with equal allocation, homogeneous devices and no
+  churn/stragglers, the DES-resolved round latencies must match the
+  static-share analytic model (the pre-runtime pricing) within 1e-6
+  relative tolerance, for all six schemes.
+* **Lower bound** — the analytic ``Stage.duration_s`` floor must never
+  exceed the DES-resolved round duration, under any medium policy or
+  injected disturbance.
+* **Divergence** — on a heterogeneous fleet the contention-aware medium
+  must measurably disagree with the static-share model.
+* **Decoupling** — the timing model must never touch learning math:
+  static vs contended runs produce bitwise-identical training curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import SCHEME_REGISTRY, make_scheme
+from repro.experiments.scenario import fast_scenario
+
+ALL_SCHEMES = sorted(SCHEME_REGISTRY)
+
+
+def build_scenario(medium="static", heterogeneity=0.0, seed=0):
+    scenario = fast_scenario(with_wireless=True, seed=seed)
+    if heterogeneity:
+        scenario.wireless = replace(scenario.wireless, heterogeneity=heterogeneity)
+    if medium != "static":
+        scenario.scheme = replace(scenario.scheme, medium=medium)
+    return scenario
+
+
+class TestStaticParity:
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_des_matches_analytic_within_1e6(self, name):
+        scheme = make_scheme(name, build_scenario().build())
+        scheme.run(2)
+        assert len(scheme.round_timings) == 2
+        for timing in scheme.round_timings:
+            assert timing.des_s == pytest.approx(timing.analytic_s, rel=1e-6), (
+                f"{name} round {timing.round_index}: DES {timing.des_s} vs "
+                f"analytic {timing.analytic_s}"
+            )
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_history_latency_matches_analytic_cumsum(self, name):
+        scheme = make_scheme(name, build_scenario().build())
+        history = scheme.run(2)
+        analytic_total = sum(t.analytic_s for t in scheme.round_timings)
+        assert history.total_latency_s == pytest.approx(analytic_total, rel=1e-6)
+
+
+class TestLowerBound:
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_stage_lower_bound_never_exceeds_des_static(self, name):
+        scheme = make_scheme(name, build_scenario().build())
+        scheme.run(2)
+        for t in scheme.round_timings:
+            assert t.lower_bound_s <= t.des_s * (1 + 1e-9)
+            assert t.lower_bound_s <= t.analytic_s * (1 + 1e-9)
+
+    @pytest.mark.parametrize("name", ["GSFL", "SL", "FL", "SplitFed"])
+    def test_stage_lower_bound_never_exceeds_des_contended(self, name):
+        scheme = make_scheme(
+            name, build_scenario(medium="contended", heterogeneity=1.0).build()
+        )
+        scheme.run(2)
+        for t in scheme.round_timings:
+            assert t.lower_bound_s <= t.des_s * (1 + 1e-9)
+
+    def test_lower_bound_holds_under_stragglers(self):
+        from repro.experiments.dynamics import DynamicsConfig
+
+        scenario = build_scenario()
+        scenario.dynamics = DynamicsConfig(straggler_rate=0.5, straggler_slowdown=5.0)
+        scheme = make_scheme("GSFL", scenario.build())
+        scheme.run(2)
+        for t in scheme.round_timings:
+            assert t.lower_bound_s <= t.des_s * (1 + 1e-9)
+
+
+class TestContentionDivergence:
+    def test_heterogeneous_contended_diverges_from_static(self):
+        """Drifted pipelines + instantaneous reallocation: the
+        contention-aware latency measurably differs from the static-share
+        model (same training, same fading streams)."""
+        static = make_scheme("GSFL", build_scenario("static", 1.0).build())
+        h_static = static.run(2)
+        contended = make_scheme("GSFL", build_scenario("contended", 1.0).build())
+        h_contended = contended.run(2)
+        rel = abs(h_contended.total_latency_s - h_static.total_latency_s) / (
+            h_static.total_latency_s
+        )
+        assert rel > 1e-3, f"contended indistinguishable from static ({rel=})"
+
+    def test_contended_rounds_differ_from_analytic(self):
+        scheme = make_scheme("GSFL", build_scenario("contended", 1.0).build())
+        scheme.run(2)
+        rels = [
+            abs(t.des_s - t.analytic_s) / t.analytic_s for t in scheme.round_timings
+        ]
+        assert max(rels) > 1e-3
+
+    def test_homogeneous_contended_stays_close_to_static(self):
+        """With identical devices the pipelines stay in near-lockstep, so
+        contention-aware and static models agree to a few percent —
+        sanity that the divergence above is really the heterogeneity."""
+        scheme = make_scheme("GSFL", build_scenario("contended", 0.0).build())
+        scheme.run(1)
+        t = scheme.round_timings[0]
+        assert t.des_s == pytest.approx(t.analytic_s, rel=0.25)
+
+
+class TestTimingLearningDecoupling:
+    @pytest.mark.parametrize("name", ["GSFL", "SL", "FL"])
+    def test_medium_policy_never_changes_training(self, name):
+        h_static = make_scheme(name, build_scenario("static", 1.0).build()).run(2)
+        h_contended = make_scheme(name, build_scenario("contended", 1.0).build()).run(2)
+        np.testing.assert_array_equal(h_static.accuracies, h_contended.accuracies)
+        np.testing.assert_array_equal(
+            np.asarray([p.train_loss for p in h_static.points]),
+            np.asarray([p.train_loss for p in h_contended.points]),
+        )
+
+    def test_stragglers_never_change_training(self):
+        from repro.experiments.dynamics import DynamicsConfig
+
+        plain = make_scheme("GSFL", build_scenario().build()).run(2)
+        scenario = build_scenario()
+        scenario.dynamics = DynamicsConfig(straggler_rate=0.5, straggler_slowdown=8.0)
+        straggled_scheme = make_scheme("GSFL", scenario.build())
+        straggled = straggled_scheme.run(2)
+        np.testing.assert_array_equal(plain.accuracies, straggled.accuracies)
+        assert straggled.total_latency_s >= plain.total_latency_s

@@ -1,5 +1,7 @@
-"""Stage/track/replay machinery tests: the DES replay must agree with the
-analytic stage algebra, and trace events must tile the timeline."""
+"""Stage/track/runtime machinery tests: the DES resolution of fixed
+demands must agree with the analytic stage algebra, trace events must
+tile the timeline, and a persistent runtime must carry an absolute clock
+across rounds."""
 
 from __future__ import annotations
 
@@ -8,6 +10,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.schemes.base import Activity, Stage, replay_stages
+from repro.sim.runtime import Runtime
 from repro.sim.trace import TraceRecorder
 
 
@@ -29,13 +32,18 @@ class TestStageAlgebra:
         with pytest.raises(ValueError):
             Activity(-0.1, "wait", "a")
 
+    def test_nominal_matches_lower_bound_for_fixed_demands(self):
+        stage = Stage("s")
+        stage.extend("t", [act(1.5), act(0.5)])
+        assert stage.nominal_duration_s == pytest.approx(stage.duration_s)
+
 
 class TestReplay:
     def test_single_track_sums(self):
         rec = TraceRecorder()
         stage = Stage("s")
         stage.extend("t", [act(1.0), act(2.0), act(0.5)])
-        total = replay_stages([stage], rec, round_index=0, start_time_s=0.0)
+        total = replay_stages([stage], rec, round_index=0)
         assert total == pytest.approx(3.5)
         assert len(rec) == 3
 
@@ -43,7 +51,7 @@ class TestReplay:
         stage = Stage("s")
         stage.extend("t1", [act(5.0)])
         stage.extend("t2", [act(3.0)])
-        total = replay_stages([stage], None, 0, 0.0)
+        total = replay_stages([stage])
         assert total == pytest.approx(5.0)
 
     def test_stages_are_barriers(self):
@@ -53,26 +61,33 @@ class TestReplay:
         s2 = Stage("agg")
         s2.extend("server", [act(2.0, phase="aggregation", actor="edge-server")])
         rec = TraceRecorder()
-        total = replay_stages([s1, s2], rec, 0, 0.0)
+        total = replay_stages([s1, s2], rec, 0)
         assert total == pytest.approx(7.0)
         agg = rec.filter(phases=["aggregation"])[0]
         assert agg.start == pytest.approx(5.0)  # waits for slow track
 
-    def test_start_offset_shifts_trace(self):
+    def test_persistent_runtime_uses_absolute_timestamps(self):
+        """Successive rounds on one runtime continue the clock — no
+        per-round restart, no start-offset bookkeeping."""
+        runtime = Runtime()
+        rec = TraceRecorder()
         stage = Stage("s")
         stage.extend("t", [act(2.0)])
-        rec = TraceRecorder()
-        replay_stages([stage], rec, round_index=3, start_time_s=100.0)
-        event = rec.events[0]
-        assert event.start == pytest.approx(100.0)
-        assert event.end == pytest.approx(102.0)
-        assert event.round_index == 3
+        d0 = replay_stages([stage], rec, round_index=0, runtime=runtime)
+        stage2 = Stage("s")
+        stage2.extend("t", [act(3.0)])
+        d1 = replay_stages([stage2], rec, round_index=1, runtime=runtime)
+        assert (d0, d1) == (pytest.approx(2.0), pytest.approx(3.0))
+        assert runtime.now == pytest.approx(5.0)
+        second = rec.events_in_round(1)[0]
+        assert second.start == pytest.approx(2.0)
+        assert second.end == pytest.approx(5.0)
 
     def test_track_events_are_contiguous(self):
         stage = Stage("s")
         stage.extend("t", [act(1.0), act(2.0), act(3.0)])
         rec = TraceRecorder()
-        replay_stages([stage], rec, 0, 0.0)
+        replay_stages([stage], rec, 0)
         events = sorted(rec.events, key=lambda e: e.start)
         for prev, nxt in zip(events, events[1:]):
             assert nxt.start == pytest.approx(prev.end)
@@ -80,7 +95,7 @@ class TestReplay:
     def test_zero_duration_activities_allowed(self):
         stage = Stage("s")
         stage.extend("t", [act(0.0), act(0.0)])
-        assert replay_stages([stage], None, 0, 0.0) == pytest.approx(0.0)
+        assert replay_stages([stage]) == pytest.approx(0.0)
 
     @given(
         st.lists(
@@ -91,12 +106,12 @@ class TestReplay:
     )
     @settings(max_examples=40, deadline=None)
     def test_replay_equals_analytic_for_any_stage(self, track_durations):
-        """Property: DES replay == max-of-sums for arbitrary stages."""
+        """Property: DES resolution == max-of-sums for arbitrary stages."""
         stage = Stage("s")
         for i, durations in enumerate(track_durations):
             stage.extend(f"t{i}", [act(d) for d in durations])
         expected = max(sum(ds) for ds in track_durations)
-        assert replay_stages([stage], None, 0, 0.0) == pytest.approx(expected)
+        assert replay_stages([stage]) == pytest.approx(expected)
 
     @given(
         st.lists(
@@ -113,4 +128,4 @@ class TestReplay:
             stage.extend("t2", [act(b)])
             stages.append(stage)
         expected = sum(max(a, b) for a, b in pairs)
-        assert replay_stages(stages, None, 0, 0.0) == pytest.approx(expected)
+        assert replay_stages(stages) == pytest.approx(expected)

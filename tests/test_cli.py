@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -28,6 +30,22 @@ class TestParser:
     def test_unknown_scheme_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--scheme", "Gossip"])
+
+    def test_runtime_options(self):
+        args = build_parser().parse_args(
+            ["run", "--medium", "contended", "--heterogeneity", "0.8",
+             "--participation", "0.5", "--straggler-rate", "0.2",
+             "--churn-uptime", "30", "--churn-downtime", "10",
+             "--trace-out", "t.jsonl"]
+        )
+        assert args.medium == "contended"
+        assert args.heterogeneity == 0.8
+        assert args.participation == 0.5
+        assert args.trace_out == "t.jsonl"
+
+    def test_unknown_medium_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--medium", "psychic"])
 
 
 class TestCommands:
@@ -62,3 +80,36 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "GSFL" in out and "FL" in out
+
+    def test_run_contended_medium(self, capsys):
+        code = main(
+            ["run", "--scale", "fast", "--scheme", "GSFL", "--rounds", "1",
+             "--medium", "contended", "--heterogeneity", "0.5"]
+        )
+        assert code == 0
+
+    def test_run_with_dynamics(self, capsys):
+        code = main(
+            ["run", "--scale", "fast", "--scheme", "FL", "--rounds", "2",
+             "--participation", "0.5", "--straggler-rate", "0.5"]
+        )
+        assert code == 0
+
+    def test_trace_out_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            ["run", "--scale", "fast", "--scheme", "GSFL", "--rounds", "1",
+             "--trace-out", str(path)]
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = {r["type"] for r in rows}
+        assert {"meta", "activity", "round_timing", "energy", "energy_summary"} <= kinds
+        meta = rows[0]
+        assert meta["type"] == "meta"
+        assert meta["scheme"] == "GSFL"
+        activities = [r for r in rows if r["type"] == "activity"]
+        assert len(activities) == meta["events"] > 0
+        assert all(r["end_s"] >= r["start_s"] for r in activities)
+        summary = [r for r in rows if r["type"] == "energy_summary"]
+        assert len(summary) == 1 and summary[0]["total_j"] > 0
