@@ -222,6 +222,57 @@ def runtime_report(quick: bool) -> dict:
         label = f"gsfl het={het:g}"
         print(f"{label:>24}: static {static_lat:8.3f} s | contended {cont_lat:8.3f} s "
               f"({(cont_lat / static_lat - 1.0) * 100:+.2f}%)")
+    report["async"] = async_round_latency_report(quick)
+    return report
+
+
+def async_round_latency_report(quick: bool) -> dict:
+    """Async-vs-sync GSFL round latency under straggler injection.
+
+    Per-round stragglers hit random groups, so the barrier pays the
+    slowest group's penalty every round (sum of per-round maxima) while
+    the barrier-free policies only pay each group's own penalties (max of
+    per-group sums) — the wall-clock argument for dropping the barrier.
+    One row per aggregation mode, plus the per-update staleness profile.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.dynamics import DynamicsConfig
+    from repro.experiments.runner import make_scheme
+    from repro.experiments.scenario import fast_scenario
+
+    rounds = 2 if quick else 4
+    straggler_rate = 0.4
+    report: dict = {
+        "scheme": "GSFL",
+        "rounds": rounds,
+        "straggler_rate": straggler_rate,
+        "straggler_slowdown": 5.0,
+        "modes": {},
+    }
+    for mode in ("sync", "bounded:1", "bounded:2", "async"):
+        scenario = fast_scenario(with_wireless=True)
+        scenario.dynamics = DynamicsConfig(
+            straggler_rate=straggler_rate, straggler_slowdown=5.0, seed=0
+        )
+        scenario.scheme = replace(scenario.scheme, aggregation=mode)
+        scheme = make_scheme("GSFL", scenario.build())
+        history = scheme.run(rounds)
+        total = history.total_latency_s
+        staleness = [u.staleness for u in scheme.aggregation_updates]
+        report["modes"][mode] = {
+            "total_latency_s": total,
+            "mean_round_latency_s": total / rounds,
+            "final_accuracy": history.final_accuracy,
+            "updates": len(staleness),
+            "max_staleness": max(staleness) if staleness else 0,
+        }
+        label = f"gsfl {mode} strag={straggler_rate:g}"
+        print(f"{label:>24}: total {total:8.3f} s "
+              f"({total / rounds:.3f} s/round)")
+    sync_total = report["modes"]["sync"]["total_latency_s"]
+    for mode, row in report["modes"].items():
+        row["speedup_vs_sync"] = sync_total / row["total_latency_s"]
     return report
 
 # Whole-round ops need the executor subsystem; skipped gracefully when the

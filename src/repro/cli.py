@@ -29,8 +29,18 @@ from repro.experiments.runner import SCHEME_REGISTRY, make_scheme
 from repro.experiments.scenario import fast_scenario, paper_scenario
 from repro.nn.dtype import set_default_dtype
 from repro.schemes.base import MEDIUM_POLICIES
+from repro.sim.server import parse_aggregation
 
 __all__ = ["main", "build_parser"]
+
+
+def _aggregation_spec(value: str) -> str:
+    """argparse type-validator for ``--aggregation`` (keeps the raw spec)."""
+    try:
+        parse_aggregation(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,9 +132,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="mean client down-window in seconds",
     )
     prun.add_argument(
+        "--aggregation", type=_aggregation_spec, default="sync",
+        metavar="{sync,async,bounded:K}",
+        help="server aggregation mode: 'sync' is the paper's per-round "
+        "barrier, 'async' FedAsync-style barrier-free merging with "
+        "polynomial staleness decay, 'bounded:K' barrier-free with an "
+        "SSP-style max-lag gate (bounded:0 == sync)",
+    )
+    prun.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="write the full per-activity trace plus per-client energy "
-        "summary as JSONL",
+        "summary (and per-update staleness under async aggregation) as JSONL",
     )
 
     sub.add_parser("cuts", parents=[common], help="cut-layer latency sweep")
@@ -190,6 +208,7 @@ def _export_trace(path: str, scheme: "object") -> None:
                 "scheme": scheme.name,
                 "rounds": len(scheme.round_timings),
                 "medium": scheme.config.medium,
+                "aggregation": scheme.config.aggregation,
                 "num_clients": scheme.num_clients,
                 "total_latency_s": total_span,
                 "events": len(recorder),
@@ -205,6 +224,18 @@ def _export_trace(path: str, scheme: "object") -> None:
                     "des_s": t.des_s,
                     "analytic_s": t.analytic_s,
                     "lower_bound_s": t.lower_bound_s,
+                }
+            )
+        for u in scheme.aggregation_updates:
+            emit(
+                {
+                    "type": "aggregation_update",
+                    "unit": u.unit,
+                    "unit_round": u.round_index,
+                    "time_s": u.time_s,
+                    "staleness": u.staleness,
+                    "alpha": u.alpha,
+                    "weight": u.weight,
                 }
             )
         reports = energy.per_client_energy(recorder, total_span)
@@ -266,16 +297,34 @@ def _cmd_fig2b(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    scenario = _scenario(args)
-    if args.cut_layer is not None:
-        scenario.cut_layer = args.cut_layer
-    if args.groups is not None:
-        scenario.num_groups = args.groups
-    if args.quantize_bits is not None:
-        from dataclasses import replace
+    # Configuration phase: ValueErrors raised while assembling the
+    # scenario/dynamics are user errors (bad flag combinations such as
+    # --churn-uptime 0) and exit cleanly; anything raised later, during
+    # the actual run, is a real bug and must keep its traceback.
+    try:
+        scenario = _scenario(args)
+        if args.cut_layer is not None:
+            scenario.cut_layer = args.cut_layer
+        if args.groups is not None:
+            scenario.num_groups = args.groups
+        if args.aggregation != "sync" and not SCHEME_REGISTRY[args.scheme].supports_async:
+            raise ValueError(
+                f"scheme {args.scheme!r} does not support "
+                f"--aggregation {args.aggregation} (only 'sync')"
+            )
+        if args.quantize_bits is not None or args.aggregation != "sync":
+            from dataclasses import replace
 
-        scenario.scheme = replace(scenario.scheme, quantize_bits=args.quantize_bits)
-    scenario.dynamics = _dynamics_config(args)
+            overrides = {}
+            if args.quantize_bits is not None:
+                overrides["quantize_bits"] = args.quantize_bits
+            if args.aggregation != "sync":
+                overrides["aggregation"] = args.aggregation
+            scenario.scheme = replace(scenario.scheme, **overrides)
+        scenario.dynamics = _dynamics_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     built = scenario.build()
     with _executor(args) as ex:
         overrides: dict = {"executor": ex}

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.nn.serialize import unpack_state
 
-__all__ = ["fedavg", "uniform_average", "weighted_delta"]
+__all__ = ["fedavg", "uniform_average", "weighted_delta", "mix_states"]
 
 
 def _normalized_weights(
@@ -116,3 +116,24 @@ def weighted_delta(
         )
     lr = avg_vec.dtype.type(server_lr)
     return unpack_state(base_vec + lr * (avg_vec - base_vec), states[0], copy=False)
+
+
+def mix_states(
+    base: dict[str, np.ndarray],
+    update: dict[str, np.ndarray],
+    alpha: float,
+) -> "OrderedDict[str, np.ndarray]":
+    """Asynchronous single-update merge: ``base + alpha * (update - base)``.
+
+    The FedAsync mixing step applied by the DES-resident aggregation
+    server on every barrier-free commit; ``alpha`` is the unit's
+    normalized sample weight damped by the staleness policy.  A
+    single-state :func:`weighted_delta` (same packed-BLAS path, same
+    dtype preservation and fresh allocation) with the mixing coefficient
+    range-checked.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"mixing coefficient must be in [0, 1], got {alpha}")
+    if base.keys() != update.keys():
+        raise ValueError("base and update states have mismatched keys")
+    return weighted_delta(base, [update], server_lr=alpha)

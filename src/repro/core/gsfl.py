@@ -43,16 +43,19 @@ from repro.nn.split import split_model
 from repro.schemes.base import Activity, Scheme, Stage
 from repro.schemes.pricing import LatencyModel
 from repro.schemes.split_common import (
+    AsyncSplitStateMixin,
     GroupTask,
     SplitHyperParams,
     price_local_round,
     run_group_tasks,
+    train_split_group,
 )
+from repro.sim.server import RetryAt, UnitRoundWork
 
 __all__ = ["GroupSplitFederatedLearning"]
 
 
-class GroupSplitFederatedLearning(Scheme):
+class GroupSplitFederatedLearning(AsyncSplitStateMixin, Scheme):
     """GSFL: parallel per-group sequential split learning + FedAvg.
 
     Parameters beyond the :class:`~repro.schemes.base.Scheme` basics:
@@ -78,6 +81,7 @@ class GroupSplitFederatedLearning(Scheme):
     """
 
     name = "GSFL"
+    supports_async = True
 
     def __init__(
         self,
@@ -167,79 +171,14 @@ class GroupSplitFederatedLearning(Scheme):
             # then per-round failure injection: unavailable clients drop
             # out of this round's relay; the model hops past them.
             present = [c for c in all_members if c in participants]
-            if self.failure_rate > 0.0:
-                members = [
-                    c
-                    for c in present
-                    if self._failure_rng.random() >= self.failure_rate
-                ]
-                self.skipped_clients_total += len(present) - len(members)
-            else:
-                members = present
+            members = self._inject_failures(present)
             if not members:
                 continue  # whole group lost this round
 
-            batches = []
-            for position, client in enumerate(members):
-                if position == 0:
-                    # Step 1 (distribution): AP → first client of the group.
-                    training.add(
-                        track,
-                        Activity(
-                            pricing.downlink_model_demand(
-                                client, client_model_bytes, bandwidth
-                            ),
-                            "model_distribution",
-                            f"client-{client}",
-                            nbytes=client_model_bytes,
-                        ),
-                    )
-                batches.append(
-                    [
-                        self.client_loaders[client].sample_batch()
-                        for _ in range(self.config.local_steps)
-                    ]
-                )
-                training.extend(
-                    track,
-                    price_local_round(
-                        client,
-                        self.cut_layer,
-                        self.config.local_steps,
-                        pricing,
-                        bandwidth,
-                    ),
-                )
-
-                if position < len(members) - 1:
-                    # Step 2.3 (sharing): relay to the next client via AP.
-                    training.add(
-                        track,
-                        Activity(
-                            pricing.relay_model_demand(
-                                client,
-                                members[position + 1],
-                                client_model_bytes,
-                                bandwidth,
-                            ),
-                            "model_relay",
-                            f"client-{client}",
-                            nbytes=2 * client_model_bytes,
-                        ),
-                    )
-                else:
-                    # Last client returns the client-side half to the AP.
-                    training.add(
-                        track,
-                        Activity(
-                            pricing.uplink_model_demand(
-                                client, client_model_bytes, bandwidth
-                            ),
-                            "model_upload",
-                            f"client-{client}",
-                            nbytes=client_model_bytes,
-                        ),
-                    )
+            activities, batches = self._group_pipeline(
+                members, bandwidth, client_model_bytes
+            )
+            training.extend(track, activities)
 
             tasks.append(
                 GroupTask(
@@ -297,6 +236,146 @@ class GroupSplitFederatedLearning(Scheme):
             )
 
         return [training, aggregation]
+
+    # ------------------------------------------------------------------
+    # shared round plumbing (sync stages and async unit pipelines)
+    # ------------------------------------------------------------------
+    def _inject_failures(self, present: list[int]) -> list[int]:
+        """Per-round failure injection over the surviving members."""
+        if self.failure_rate <= 0.0:
+            return list(present)
+        members = [
+            c for c in present if self._failure_rng.random() >= self.failure_rate
+        ]
+        self.skipped_clients_total += len(present) - len(members)
+        return members
+
+    def _group_pipeline(
+        self, members: list[int], bandwidth: float, client_model_bytes: int
+    ) -> tuple[list[Activity], list[list[tuple]]]:
+        """One group's relay as (activities, pre-sampled batches).
+
+        Draw order is the protocol order (downlink → per-member batches
+        and split-step fading → relay/upload), shared verbatim by the
+        barriered stage construction and the async unit pipelines so the
+        fading and loader streams replay identically.
+        """
+        pricing = self._pricing
+        activities: list[Activity] = []
+        batches: list[list[tuple]] = []
+        for position, client in enumerate(members):
+            if position == 0:
+                # Step 1 (distribution): AP → first client of the group.
+                activities.append(
+                    Activity(
+                        pricing.downlink_model_demand(
+                            client, client_model_bytes, bandwidth
+                        ),
+                        "model_distribution",
+                        f"client-{client}",
+                        nbytes=client_model_bytes,
+                    )
+                )
+            batches.append(
+                [
+                    self.client_loaders[client].sample_batch()
+                    for _ in range(self.config.local_steps)
+                ]
+            )
+            activities.extend(
+                price_local_round(
+                    client,
+                    self.cut_layer,
+                    self.config.local_steps,
+                    pricing,
+                    bandwidth,
+                )
+            )
+            if position < len(members) - 1:
+                # Step 2.3 (sharing): relay to the next client via AP.
+                activities.append(
+                    Activity(
+                        pricing.relay_model_demand(
+                            client,
+                            members[position + 1],
+                            client_model_bytes,
+                            bandwidth,
+                        ),
+                        "model_relay",
+                        f"client-{client}",
+                        nbytes=2 * client_model_bytes,
+                    )
+                )
+            else:
+                # Last client returns the client-side half to the AP.
+                activities.append(
+                    Activity(
+                        pricing.uplink_model_demand(
+                            client, client_model_bytes, bandwidth
+                        ),
+                        "model_upload",
+                        f"client-{client}",
+                        nbytes=client_model_bytes,
+                    )
+                )
+        return activities, batches
+
+    # ------------------------------------------------------------------
+    # asynchronous aggregation (barrier-free policies)
+    # ------------------------------------------------------------------
+    def _async_units(self) -> list[int]:
+        return list(range(self.num_groups))
+
+    def _async_unit_weight(self, unit: int) -> float:
+        return float(sum(len(self.client_datasets[c]) for c in self.groups[unit]))
+
+    def _async_unit_round(self, unit: int, unit_round: int):
+        resolved = self._async_unit_dynamics(self.groups[unit])
+        if isinstance(resolved, RetryAt):
+            return resolved
+        present, slowdowns = resolved
+        members = self._inject_failures(present)
+        if not members:
+            # Whole group lost this window: the round counts for progress
+            # (the lag gate must not deadlock) but commits nothing.
+            return UnitRoundWork(activities=[], payload=None, weight=0.0)
+
+        activities, batches = self._group_pipeline(
+            members,
+            self.bandwidth_shares[unit],
+            self._pricing.client_model_nbytes(self.cut_layer),
+        )
+        # Train against the *current* mixed global snapshot.  Async unit
+        # rounds are serialized by the DES event loop, so the group
+        # trains directly on the scheme's split model with explicit state
+        # reload (the serial-executor path) on every backend.
+        task = GroupTask(
+            index=unit,
+            members=list(members),
+            batches=batches,
+            client_state=self._global_client_state,
+            server_state=self._global_server_state,
+            weight=float(sum(len(self.client_datasets[c]) for c in members)),
+            split=self.split,
+            private_replica=False,
+        )
+        result = train_split_group(task, SplitHyperParams.from_config(self.config))
+        activities.append(
+            Activity(
+                self._pricing.aggregation_demand(2, self.model.num_parameters()),
+                "aggregation",
+                "edge-server",
+                detail=f"async merge group-{unit}",
+            )
+        )
+        return UnitRoundWork(
+            activities=activities,
+            payload=(result.client_state, result.server_state),
+            weight=result.weight,
+            slowdowns=slowdowns or None,
+            loss_sum=result.loss_sum,
+            num_contributors=result.num_members,
+        )
 
     # ------------------------------------------------------------------
     # introspection

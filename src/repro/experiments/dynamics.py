@@ -49,6 +49,19 @@ class DynamicsConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "DynamicsConfig":
+        """Re-check every invariant; returns self.
+
+        Called from ``__post_init__`` *and* again by
+        :class:`ClientDynamics`: the dataclass is mutable, and a zero (or
+        negative) churn window smuggled in after construction would make
+        ``rng.exponential(0)`` emit zero-length windows — the availability
+        trace then never advances past ``t`` and
+        :meth:`ClientDynamics.available_at` loops forever.  Degenerate
+        windows must fail loudly, wherever they come from.
+        """
         if not 0.0 < self.participation <= 1.0:
             raise ValueError(
                 f"participation must be in (0, 1], got {self.participation}"
@@ -67,6 +80,7 @@ class DynamicsConfig:
                 f"straggler_slowdown must be >= 1, got {self.straggler_slowdown}"
             )
         check_non_negative("min_participants", self.min_participants)
+        return self
 
     @property
     def has_churn(self) -> bool:
@@ -94,7 +108,7 @@ class ClientDynamics:
 
     def __init__(self, config: DynamicsConfig, num_clients: int) -> None:
         check_positive("num_clients", num_clients)
-        self.config = config
+        self.config = config.validate()
         self.num_clients = num_clients
         root = np.random.SeedSequence([config.seed, 0xD15C])
         avail_seed, part_seed, strag_seed = root.spawn(3)
@@ -133,15 +147,17 @@ class ClientDynamics:
             (edges[i], edges[i + 1]) for i in range(0, len(edges) - 1, 2)
         ]
 
-    def next_recovery_s(self, t: float) -> float | None:
+    def next_recovery_s(self, t: float, clients: "list[int] | None" = None) -> float | None:
         """Earliest absolute time after ``t`` at which a currently-down
         client comes back up (``None`` without churn, or if nobody is
         down).  The scheme driver uses this to wait out an all-down
-        window instead of freezing the clock on a zero-cost round."""
+        window instead of freezing the clock on a zero-cost round;
+        ``clients`` restricts the scan to one unit's members (async
+        pipelines wait only for their own group)."""
         if not self.config.has_churn:
             return None
         candidates = []
-        for c in range(self.num_clients):
+        for c in range(self.num_clients) if clients is None else clients:
             if not self.available_at(c, t):
                 toggles = self._toggles[c]
                 candidates.append(toggles[bisect_right(toggles, t)])
@@ -174,3 +190,39 @@ class ClientDynamics:
             participants=participants,
             slowdowns=slowdowns,
         )
+
+    def unit_round_conditions(
+        self, members: "list[int]", now_s: float
+    ) -> tuple[list[int], dict[int, float]]:
+        """Resolve one *unit's* round under barrier-free aggregation.
+
+        Async pipelines start rounds at different simulated times, so
+        disturbances resolve per unit rather than per global round:
+        availability is the churn trace at ``now_s``; participation
+        becomes a per-member Bernoulli draw, topped up with uniform draws
+        to the unit-scoped floor ``min(min_participants, |present|)`` (at
+        least one, so a unit cannot stall on sampling alone and low
+        participation is not biased toward the first member); stragglers
+        draw as usual.  Draws consume the shared generators in DES event
+        order — deterministic for a fixed seed.
+        """
+        cfg = self.config
+        present = [c for c in members if self.available_at(c, now_s)]
+        if cfg.participation < 1.0 and present:
+            floor = max(1, min(cfg.min_participants, len(present)))
+            sampled = [
+                c for c in present if self._part_rng.random() < cfg.participation
+            ]
+            if len(sampled) < floor:
+                remaining = [c for c in present if c not in sampled]
+                picked = self._part_rng.choice(
+                    len(remaining), size=floor - len(sampled), replace=False
+                )
+                sampled = sorted(sampled + [remaining[i] for i in picked])
+            present = sampled
+        slowdowns: dict[int, float] = {}
+        if cfg.straggler_rate > 0.0:
+            for c in present:
+                if self._strag_rng.random() < cfg.straggler_rate:
+                    slowdowns[c] = cfg.straggler_slowdown
+        return present, slowdowns

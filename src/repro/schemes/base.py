@@ -40,6 +40,14 @@ from repro.sim.runtime import (
     demand_lower_bound_s,
     demand_nominal_s,
 )
+from repro.sim.server import (
+    AggregationServer,
+    RetryAt,
+    StalenessPolicy,
+    UnitRoundWork,
+    UpdateRecord,
+    parse_aggregation,
+)
 from repro.sim.trace import TraceRecorder
 from repro.utils.rng import spawn_rngs
 from repro.utils.validation import check_in_choices, check_positive
@@ -189,6 +197,13 @@ class SchemeConfig:
     allocator over the *instantaneously active* transmitter set on every
     flow arrival/departure, so shares change as group pipelines drift
     apart.
+
+    ``aggregation`` selects when the server folds unit updates into the
+    global model: ``"sync"`` is the paper's per-round barrier,
+    ``"async"`` FedAsync-style barrier-free aggregation with polynomial
+    staleness decay, ``"bounded:K"`` barrier-free with an SSP-style
+    max-lag gate (``bounded:0`` *is* the sync barrier) — see
+    :mod:`repro.sim.server`.
     """
 
     batch_size: int = 16
@@ -200,6 +215,7 @@ class SchemeConfig:
     eval_batch_size: int = 256
     quantize_bits: int | None = None
     medium: str = "static"
+    aggregation: str = "sync"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -208,6 +224,7 @@ class SchemeConfig:
         check_positive("lr", self.lr)
         check_positive("eval_every", self.eval_every)
         check_in_choices("medium", self.medium, MEDIUM_POLICIES)
+        parse_aggregation(self.aggregation)  # raises on malformed specs
         if self.quantize_bits is not None and not 1 <= self.quantize_bits <= 16:
             raise ValueError(
                 f"quantize_bits must be in [1, 16] or None, got {self.quantize_bits}"
@@ -224,6 +241,9 @@ class Scheme:
     """
 
     name = "base"
+    #: whether the scheme implements the barrier-free unit-pipeline
+    #: contract (set by subclasses that override the ``_async_*`` hooks)
+    supports_async = False
 
     def __init__(
         self,
@@ -253,6 +273,10 @@ class Scheme:
         self.dynamics = dynamics
         self.history = TrainingHistory(scheme=self.name)
         self.runtime = self._make_runtime()
+        self.aggregation_policy: StalenessPolicy = parse_aggregation(
+            self.config.aggregation
+        )
+        self._aggregation_server: AggregationServer | None = None
         self.round_timings: list[RoundTiming] = []
         self._round_conditions: "RoundConditions | None" = None
         self._elapsed_s = 0.0
@@ -300,11 +324,79 @@ class Scheme:
         return list(self._round_conditions.participants)
 
     # ------------------------------------------------------------------
+    # asynchronous-aggregation contract (opt-in per scheme)
+    # ------------------------------------------------------------------
+    def _async_units(self) -> list[int]:
+        """Independent pipelines for barrier-free aggregation.
+
+        Schemes with parallel unit pipelines (GSFL groups, SplitFed/FL
+        clients) override this together with :meth:`_async_unit_round`,
+        :meth:`_async_apply_update` and :meth:`_async_load_eval_model`
+        and set ``supports_async``; inherently sequential schemes keep
+        the barrier.
+        """
+        raise ValueError(
+            f"scheme {self.name!r} does not support "
+            f"aggregation={self.config.aggregation!r}; only 'sync'"
+        )
+
+    def _async_unit_round(
+        self, unit: int, unit_round: int
+    ) -> "UnitRoundWork | RetryAt":
+        """Eagerly train one unit-round at the current simulated time."""
+        raise NotImplementedError
+
+    def _async_apply_update(self, payload: object, alpha: float) -> None:
+        """Merge one committed update into the global state (server math)."""
+        raise NotImplementedError
+
+    def _async_load_eval_model(self) -> None:
+        """Load the mixed global state into the evaluation model."""
+        raise NotImplementedError
+
+    def _async_unit_dynamics(
+        self, members: list[int]
+    ) -> "tuple[list[int], dict[int, float]] | RetryAt":
+        """Resolve churn/participation/stragglers for one unit-round.
+
+        Returns the surviving members plus straggler slowdowns, or a
+        :class:`RetryAt` when every member is inside a churn down-window.
+        """
+        if self.dynamics is None:
+            return list(members), {}
+        now = self.runtime.now
+        present, slowdowns = self.dynamics.unit_round_conditions(members, now)
+        if not present:
+            resume = self.dynamics.next_recovery_s(now, clients=members)
+            if resume is not None and resume > now:
+                return RetryAt(resume)
+        return present, slowdowns
+
+    @property
+    def aggregation_updates(self) -> "list[UpdateRecord]":
+        """Per-commit staleness log of a barrier-free run (empty for sync)."""
+        if self._aggregation_server is None:
+            return []
+        return list(self._aggregation_server.updates)
+
+    # ------------------------------------------------------------------
     # driver
     # ------------------------------------------------------------------
     def run(self, num_rounds: int) -> TrainingHistory:
-        """Train for ``num_rounds`` rounds; returns the filled history."""
+        """Train for ``num_rounds`` rounds; returns the filled history.
+
+        The configured :class:`~repro.sim.server.StalenessPolicy` decides
+        the round structure: the sync barrier replays the classic
+        stage-by-stage loop; barrier-free policies hand the scheme's unit
+        pipelines to a DES-resident :class:`AggregationServer`.
+        """
         check_positive("num_rounds", num_rounds)
+        if self.aggregation_policy.synchronous:
+            return self._run_sync(num_rounds)
+        return self._run_async(num_rounds)
+
+    def _run_sync(self, num_rounds: int) -> TrainingHistory:
+        """Classic barriered loop (the paper's per-round protocol)."""
         for r in range(num_rounds):
             if self.dynamics is not None:
                 conditions = self.dynamics.begin_round(r, self.runtime.now)
@@ -322,8 +414,8 @@ class Scheme:
             else:
                 slowdowns = None
             stages = self._run_round(r)
-            duration = self.runtime.execute_round(
-                stages, self.recorder, r, compute_slowdown=slowdowns
+            duration = self.aggregation_policy.resolve_round(
+                self.runtime, stages, self.recorder, r, compute_slowdown=slowdowns
             )
             lower = sum(s.duration_s for s in stages)
             analytic = sum(s.nominal_duration_s for s in stages)
@@ -337,6 +429,73 @@ class Scheme:
             if (r + 1) % self.config.eval_every == 0 or r == num_rounds - 1:
                 self._record_eval(r)
         return self.history
+
+    def _run_async(self, num_rounds: int) -> TrainingHistory:
+        """Barrier-free loop: unit pipelines + the DES aggregation server.
+
+        Every unit (group or client) runs ``num_rounds`` rounds as its
+        own free-running DES process; the server merges each update the
+        moment it lands, weighted by staleness.  History points keep the
+        sync semantics: global round ``r`` completes when the *slowest*
+        unit finishes its ``r``-th round, and evaluation snapshots the
+        mixed global model at that instant (which may already contain
+        later-round contributions from faster units — the point of
+        dropping the barrier).
+        """
+        units = self._async_units()
+        weights = [self._async_unit_weight(u) for u in units]
+        server = AggregationServer(
+            self.runtime,
+            self.aggregation_policy,
+            num_units=len(units),
+            total_weight=sum(weights),
+            apply_update=self._async_apply_update,
+        )
+        self._aggregation_server = server
+
+        loss_sums = [0.0] * num_rounds
+        loss_counts = [0] * num_rounds
+        nominal_s = [0.0] * num_rounds
+        recorded = 0
+        last_end = self.runtime.now
+
+        def work_fn(unit_index: int, unit_round: int):
+            return self._async_unit_round(units[unit_index], unit_round)
+
+        def on_commit(unit_index, unit_round, work, record) -> None:
+            nonlocal recorded, last_end
+            loss_sums[unit_round] += work.loss_sum
+            loss_counts[unit_round] += work.num_contributors
+            nominal_s[unit_round] = max(
+                nominal_s[unit_round], sum(a.nominal_s for a in work.activities)
+            )
+            finished = min(server.completed)
+            while recorded < finished:
+                r = recorded
+                now = self.runtime.now
+                # Rounds overlap under barrier-free policies, so the
+                # contention-free per-round floor is vacuous (0); the
+                # analytic column keeps the static barrier model's
+                # estimate for sync-vs-async latency comparisons.
+                self.round_timings.append(
+                    RoundTiming(r, now - last_end, nominal_s[r], 0.0)
+                )
+                last_end = now
+                self._elapsed_s = now
+                if loss_counts[r]:
+                    self._last_train_loss = loss_sums[r] / loss_counts[r]
+                if (r + 1) % self.config.eval_every == 0 or r == num_rounds - 1:
+                    self._async_load_eval_model()
+                    self._record_eval(r)
+                recorded += 1
+
+        server.run(work_fn, num_rounds, recorder=self.recorder, on_commit=on_commit)
+        self._elapsed_s = self.runtime.now
+        return self.history
+
+    def _async_unit_weight(self, unit: int) -> float:
+        """Static FedAvg sample weight of one unit (normalizes mixing)."""
+        raise NotImplementedError
 
     def _record_eval(self, round_index: int) -> None:
         _, acc = evaluate_model(

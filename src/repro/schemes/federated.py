@@ -13,10 +13,11 @@ whole model over the air every round.
 from __future__ import annotations
 
 from repro import nn
-from repro.core.aggregation import fedavg
+from repro.core.aggregation import fedavg, mix_states
 from repro.nn.tensor import Tensor
 from repro.schemes.base import Activity, Scheme, Stage
 from repro.schemes.pricing import LatencyModel
+from repro.sim.server import RetryAt, UnitRoundWork
 
 __all__ = ["FederatedLearning"]
 
@@ -25,6 +26,7 @@ class FederatedLearning(Scheme):
     """FL: parallel full-model local training + FedAvg."""
 
     name = "FL"
+    supports_async = True
 
     def __init__(self, *args: object, **kwargs: object) -> None:
         super().__init__(*args, **kwargs)
@@ -60,25 +62,12 @@ class FederatedLearning(Scheme):
         local_states = []
         total_loss = 0.0
         for c in participants:
-            self.model.load_state_dict(self._global_state)
-            optimizer = self._make_sgd(self.model.parameters())
-            for _ in range(cfg.local_steps):
-                xb, yb = self.client_loaders[c].sample_batch()
-                optimizer.zero_grad()
-                loss = self._loss_fn(self.model(Tensor(xb)), yb)
-                loss.backward()
-                optimizer.step()
-                total_loss += float(loss.item())
-                local.add(
-                    f"client-{c}",
-                    Activity(
-                        pricing.client_full_step_demand(c),
-                        "client_compute",
-                        f"client-{c}",
-                        detail="local step",
-                    ),
-                )
-            local_states.append(self.model.state_dict())
+            state, step_losses, activities = self._local_training_round(c)
+            for activity in activities:
+                local.add(f"client-{c}", activity)
+            local_states.append(state)
+            for step_loss in step_losses:  # one running sum, legacy order
+                total_loss += step_loss
         self._last_train_loss = total_loss / (len(participants) * cfg.local_steps)
 
         # --- stage 3: concurrent full-model uploads at B/N -------------
@@ -113,3 +102,107 @@ class FederatedLearning(Scheme):
         )
 
         return [distribution, local, upload, aggregation]
+
+    def _local_training_round(
+        self, client: int
+    ) -> tuple[dict, float, list[Activity]]:
+        """One client's local round from the current global state.
+
+        Shared by the barriered and barrier-free paths (same op order —
+        and per-step losses returned unreduced so the sync driver can
+        keep its legacy one-running-sum accumulation across clients,
+        bitwise): returns ``(trained_state, step_losses, activities)``.
+        """
+        self.model.load_state_dict(self._global_state)
+        optimizer = self._make_sgd(self.model.parameters())
+        step_losses: list[float] = []
+        activities: list[Activity] = []
+        for _ in range(self.config.local_steps):
+            xb, yb = self.client_loaders[client].sample_batch()
+            optimizer.zero_grad()
+            loss = self._loss_fn(self.model(Tensor(xb)), yb)
+            loss.backward()
+            optimizer.step()
+            step_losses.append(float(loss.item()))
+            activities.append(
+                Activity(
+                    self._pricing.client_full_step_demand(client),
+                    "client_compute",
+                    f"client-{client}",
+                    detail="local step",
+                )
+            )
+        return self.model.state_dict(), step_losses, activities
+
+    # ------------------------------------------------------------------
+    # asynchronous aggregation (barrier-free policies)
+    # ------------------------------------------------------------------
+    def _async_units(self) -> list[int]:
+        return list(range(self.num_clients))
+
+    def _async_unit_weight(self, unit: int) -> float:
+        return float(len(self.client_datasets[unit]))
+
+    def _async_unit_round(self, unit: int, unit_round: int):
+        """One client's barrier-free round: download → train → upload.
+
+        The broadcast distribution stage of the sync protocol has no
+        barrier-free analogue — each client fetches the current global
+        model over its own downlink at the nominal ``B/N`` share.
+        """
+        resolved = self._async_unit_dynamics([unit])
+        if isinstance(resolved, RetryAt):
+            return resolved
+        present, slowdowns = resolved
+        if not present:
+            return UnitRoundWork(activities=[], payload=None, weight=0.0)
+
+        pricing = self._pricing
+        share = pricing.total_bandwidth_hz / self.num_clients
+        model_bytes = pricing.full_model_nbytes()
+        track = f"client-{unit}"
+        activities = [
+            Activity(
+                pricing.downlink_model_demand(unit, model_bytes, share),
+                "model_download",
+                track,
+                nbytes=model_bytes,
+            )
+        ]
+        state, step_losses, compute = self._local_training_round(unit)
+        activities.extend(compute)
+        total_loss = 0.0
+        for step_loss in step_losses:
+            total_loss += step_loss
+        activities.append(
+            Activity(
+                pricing.uplink_model_demand(unit, model_bytes, share),
+                "model_upload",
+                track,
+                nbytes=model_bytes,
+            )
+        )
+        activities.append(
+            Activity(
+                pricing.aggregation_demand(2, self.model.num_parameters()),
+                "aggregation",
+                "edge-server",
+                detail=f"async merge client-{unit}",
+            )
+        )
+        return UnitRoundWork(
+            activities=activities,
+            payload=state,
+            weight=float(len(self.client_datasets[unit])),
+            slowdowns=slowdowns or None,
+            loss_sum=total_loss / self.config.local_steps,
+            num_contributors=1,
+        )
+
+    def _async_apply_update(self, payload: object, alpha: float) -> None:
+        self._global_state = mix_states(self._global_state, payload, alpha)
+
+    def _async_load_eval_model(self) -> None:
+        # mix_states allocates fresh arrays and the global is only read
+        # afterwards, so the model can adopt them without re-copying.
+        self.model.load_state_dict(self._global_state, copy=False)

@@ -46,6 +46,7 @@ __all__ = [
     "SplitHyperParams",
     "train_split_group",
     "run_group_tasks",
+    "AsyncSplitStateMixin",
 ]
 
 
@@ -276,6 +277,40 @@ def train_split_group(task: GroupTask, hp: SplitHyperParams) -> GroupResult:
         loss_sum=loss_sum,
         num_members=len(task.members),
     )
+
+
+class AsyncSplitStateMixin:
+    """Barrier-free server math shared by the split schemes (GSFL, SplitFed).
+
+    Hosts the two global halves' async plumbing: commits mix the update
+    into ``_global_client_state`` / ``_global_server_state`` and keep the
+    scheme's :class:`~repro.nn.split.SplitModel` loaded with the mixed
+    global (the halves share modules with the full evaluation model).
+    """
+
+    def _async_apply_update(self, payload: object, alpha: float) -> None:
+        # Imported lazily: ``repro.core`` package init imports the GSFL
+        # scheme, which imports this module — a top-level import here
+        # would close that cycle mid-initialization.
+        from repro.core.aggregation import mix_states
+
+        client_state, server_state = payload
+        self._global_client_state = mix_states(
+            self._global_client_state, client_state, alpha
+        )
+        self._global_server_state = mix_states(
+            self._global_server_state, server_state, alpha
+        )
+        # mix_states allocates fresh arrays and the globals are only read
+        # afterwards, so the halves can adopt them without re-copying.
+        self.split.client.load_state_dict(self._global_client_state, copy=False)
+        self.split.server.load_state_dict(self._global_server_state, copy=False)
+
+    def _async_load_eval_model(self) -> None:
+        # Unit training mutates the shared split model in place; reload
+        # the mixed global before every evaluation snapshot.
+        self.split.client.load_state_dict(self._global_client_state, copy=False)
+        self.split.server.load_state_dict(self._global_server_state, copy=False)
 
 
 def run_group_tasks(

@@ -20,19 +20,23 @@ from repro.nn.split import split_model
 from repro.schemes.base import Activity, Scheme, Stage
 from repro.schemes.pricing import LatencyModel
 from repro.schemes.split_common import (
+    AsyncSplitStateMixin,
     GroupTask,
     SplitHyperParams,
     price_local_round,
     run_group_tasks,
+    train_split_group,
 )
+from repro.sim.server import RetryAt, UnitRoundWork
 
 __all__ = ["SplitFedLearning"]
 
 
-class SplitFedLearning(Scheme):
+class SplitFedLearning(AsyncSplitStateMixin, Scheme):
     """SplitFed-V1: fully parallel split learning, one replica per client."""
 
     name = "SplitFed"
+    supports_async = True
 
     def __init__(self, *args: object, cut_layer: int = 1, **kwargs: object) -> None:
         super().__init__(*args, **kwargs)
@@ -125,6 +129,82 @@ class SplitFedLearning(Scheme):
             ),
         )
         return [training, aggregation]
+
+    # ------------------------------------------------------------------
+    # asynchronous aggregation (barrier-free policies)
+    # ------------------------------------------------------------------
+    def _async_units(self) -> list[int]:
+        return list(range(self.num_clients))
+
+    def _async_unit_weight(self, unit: int) -> float:
+        return float(len(self.client_datasets[unit]))
+
+    def _async_unit_round(self, unit: int, unit_round: int):
+        resolved = self._async_unit_dynamics([unit])
+        if isinstance(resolved, RetryAt):
+            return resolved
+        present, slowdowns = resolved
+        if not present:
+            return UnitRoundWork(activities=[], payload=None, weight=0.0)
+
+        pricing = self._pricing
+        share = pricing.total_bandwidth_hz / self.num_clients
+        nbytes = pricing.client_model_nbytes(self.cut_layer)
+        track = f"client-{unit}"
+        activities = [
+            Activity(
+                pricing.downlink_model_demand(unit, nbytes, share),
+                "model_distribution",
+                track,
+                nbytes=nbytes,
+            )
+        ]
+        batches = [
+            [
+                self.client_loaders[unit].sample_batch()
+                for _ in range(self.config.local_steps)
+            ]
+        ]
+        activities.extend(
+            price_local_round(
+                unit, self.cut_layer, self.config.local_steps, pricing, share
+            )
+        )
+        activities.append(
+            Activity(
+                pricing.uplink_model_demand(unit, nbytes, share),
+                "model_upload",
+                track,
+                nbytes=nbytes,
+            )
+        )
+        task = GroupTask(
+            index=unit,
+            members=[unit],
+            batches=batches,
+            client_state=self._global_client_state,
+            server_state=self._global_server_state,
+            weight=float(len(self.client_datasets[unit])),
+            split=self.split,
+            private_replica=False,
+        )
+        result = train_split_group(task, SplitHyperParams.from_config(self.config))
+        activities.append(
+            Activity(
+                pricing.aggregation_demand(2, self.model.num_parameters()),
+                "aggregation",
+                "edge-server",
+                detail=f"async merge client-{unit}",
+            )
+        )
+        return UnitRoundWork(
+            activities=activities,
+            payload=(result.client_state, result.server_state),
+            weight=result.weight,
+            slowdowns=slowdowns or None,
+            loss_sum=result.loss_sum,
+            num_contributors=1,
+        )
 
     # ------------------------------------------------------------------
     # storage accounting (the paper's §I argument)

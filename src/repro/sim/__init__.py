@@ -23,6 +23,15 @@ from repro.sim.runtime import (
     TransmitDemand,
     TransmitLeg,
 )
+from repro.sim.server import (
+    AggregationServer,
+    BoundedStaleness,
+    PolynomialStaleness,
+    StalenessPolicy,
+    SyncBarrier,
+    UpdateRecord,
+    parse_aggregation,
+)
 from repro.sim.trace import PHASES, TraceEvent, TraceRecorder
 
 __all__ = [
@@ -42,6 +51,13 @@ __all__ = [
     "TransmitLeg",
     "TransmitDemand",
     "Runtime",
+    "StalenessPolicy",
+    "SyncBarrier",
+    "PolynomialStaleness",
+    "BoundedStaleness",
+    "AggregationServer",
+    "UpdateRecord",
+    "parse_aggregation",
     "TraceEvent",
     "TraceRecorder",
     "PHASES",

@@ -236,6 +236,37 @@ class Runtime:
     # ------------------------------------------------------------------
     # round execution
     # ------------------------------------------------------------------
+    def run_track(
+        self,
+        activities: "list",
+        recorder: TraceRecorder | None,
+        round_index: int,
+        compute_slowdown: dict[int, float] | None = None,
+    ):
+        """Process generator resolving one sequential activity track.
+
+        Each activity's demand is resolved against the instantaneous
+        simulation state and recorded with absolute timestamps.  Both the
+        sync barrier (per-stage parallel tracks) and the asynchronous
+        aggregation engine (one free-running pipeline per unit) are built
+        from this primitive.  ``compute_slowdown`` maps client index →
+        multiplicative straggler factor on that client's compute demands.
+        """
+        env = self.env
+        for act in activities:
+            begin = env.now
+            yield from self._perform(act.demand, compute_slowdown)
+            if recorder is not None:
+                recorder.record(
+                    start=begin,
+                    end=env.now,
+                    phase=act.phase,
+                    actor=act.actor,
+                    round_index=round_index,
+                    nbytes=act.nbytes,
+                    detail=act.detail,
+                )
+
     def execute_round(
         self,
         stages: "list[Stage]",
@@ -245,39 +276,18 @@ class Runtime:
     ) -> float:
         """Run a round's stages to completion; returns the round duration.
 
-        One process per track; an all-of barrier between stages.  Trace
-        events carry the environment's absolute timestamps.
-        ``compute_slowdown`` maps client index → multiplicative straggler
-        factor applied to that client's compute demands this round.
+        Barrier semantics (one process per track, an all-of barrier
+        between stages) are owned by the degenerate
+        :class:`~repro.sim.server.SyncBarrier` staleness policy — this
+        wrapper exists for standalone replay (tests, benchmarks,
+        :func:`~repro.schemes.base.replay_stages`); the scheme driver
+        calls its configured policy directly.
         """
-        env = self.env
-        start = env.now
+        from repro.sim.server import SyncBarrier  # local: avoids layering cycle
 
-        def track_process(activities):
-            for act in activities:
-                begin = env.now
-                yield from self._perform(act.demand, compute_slowdown)
-                if recorder is not None:
-                    recorder.record(
-                        start=begin,
-                        end=env.now,
-                        phase=act.phase,
-                        actor=act.actor,
-                        round_index=round_index,
-                        nbytes=act.nbytes,
-                        detail=act.detail,
-                    )
-
-        def round_process():
-            for stage in stages:
-                if not stage.tracks:
-                    continue
-                procs = [env.process(track_process(acts)) for acts in stage.tracks.values()]
-                yield env.all_of(procs)
-
-        done = env.process(round_process())
-        env.run(done)
-        return env.now - start
+        return SyncBarrier().resolve_round(
+            self, stages, recorder, round_index, compute_slowdown
+        )
 
     # ------------------------------------------------------------------
     # demand resolution

@@ -29,6 +29,23 @@ class TestDynamicsConfig:
         with pytest.raises(ValueError):
             DynamicsConfig(straggler_slowdown=0.5)
 
+    @pytest.mark.parametrize("uptime,downtime", [(0.0, 5.0), (5.0, 0.0), (0.0, 0.0)])
+    def test_degenerate_churn_windows_rejected(self, uptime, downtime):
+        """A zero-length window makes ``rng.exponential(0)`` emit
+        zero-length toggles and the availability trace never advances —
+        must fail at construction, not hang at query time."""
+        with pytest.raises(ValueError, match="must be > 0"):
+            DynamicsConfig(churn_uptime_s=uptime, churn_downtime_s=downtime)
+
+    def test_mutated_degenerate_windows_rejected_by_client_dynamics(self):
+        """The config dataclass is mutable; ClientDynamics re-validates so
+        a window zeroed after construction still fails loudly instead of
+        looping forever inside ``available_at``."""
+        cfg = DynamicsConfig(churn_uptime_s=10.0, churn_downtime_s=5.0)
+        cfg.churn_uptime_s = 0.0
+        with pytest.raises(ValueError, match="churn_uptime_s must be > 0"):
+            ClientDynamics(cfg, num_clients=3)
+
 
 class TestAvailabilityTrace:
     def test_no_churn_always_available(self):
@@ -101,6 +118,48 @@ class TestRoundConditions:
         cond = dyn.begin_round(0, 0.0)
         assert set(cond.slowdowns) == set(range(4))
         assert all(v == 3.5 for v in cond.slowdowns.values())
+
+
+class TestUnitRoundConditions:
+    """Per-unit resolution used by barrier-free aggregation pipelines."""
+
+    def test_identity_without_disturbances(self):
+        dyn = ClientDynamics(DynamicsConfig(), num_clients=6)
+        members, slowdowns = dyn.unit_round_conditions([1, 3, 5], 42.0)
+        assert members == [1, 3, 5] and slowdowns == {}
+
+    def test_members_filtered_by_churn_trace(self):
+        cfg = DynamicsConfig(churn_uptime_s=5.0, churn_downtime_s=5.0, seed=2)
+        dyn = ClientDynamics(cfg, num_clients=6)
+        t = 100.0
+        members, _ = dyn.unit_round_conditions(list(range(6)), t)
+        assert members == [c for c in range(6) if dyn.available_at(c, t)]
+
+    def test_participation_keeps_at_least_one_member(self):
+        cfg = DynamicsConfig(participation=0.01, seed=0)
+        dyn = ClientDynamics(cfg, num_clients=4)
+        for _ in range(20):
+            members, _ = dyn.unit_round_conditions([0, 1, 2, 3], 0.0)
+            assert members  # a unit never stalls on sampling alone
+
+    def test_stragglers_only_among_members(self):
+        cfg = DynamicsConfig(straggler_rate=1.0, straggler_slowdown=3.0)
+        dyn = ClientDynamics(cfg, num_clients=6)
+        members, slowdowns = dyn.unit_round_conditions([2, 4], 0.0)
+        assert set(slowdowns) == set(members) == {2, 4}
+        assert all(v == 3.0 for v in slowdowns.values())
+
+    def test_next_recovery_restricted_to_unit_members(self):
+        cfg = DynamicsConfig(churn_uptime_s=1.0, churn_downtime_s=50.0, seed=3)
+        dyn = ClientDynamics(cfg, num_clients=6)
+        t = 200.0
+        down = [c for c in range(6) if not dyn.available_at(c, t)]
+        if len(down) >= 2:
+            only_last = dyn.next_recovery_s(t, clients=[down[-1]])
+            assert only_last is not None and only_last > t
+            # restricting the scan can only delay (or match) the fleet-wide
+            # earliest recovery
+            assert only_last >= dyn.next_recovery_s(t)
 
 
 class TestSchemesUnderDynamics:

@@ -1,0 +1,102 @@
+"""Golden-history regression harness: scheme parity, fixture-backed.
+
+PRs 1–2 guaranteed bitwise-identical training histories against the seed
+commit by re-running it by hand.  These tests promote that guarantee to
+a first-class fixture check: ``tests/fixtures/histories/<scheme>.npz``
+freezes each scheme's (rounds, latencies, losses, accuracies) series for
+the canonical parity configuration, and every run here must reproduce it
+**bitwise** — latency included, since the DES resolution is exact under
+the static medium.
+
+The barrier-free aggregation engine must pass the same goldens in its
+synchronous limit: ``aggregation="bounded:0"`` parses to the sync-barrier
+policy (a zero-lag SSP gate *is* the barrier), so the async-capable
+schemes are additionally pinned through that spelling.
+
+Regenerate fixtures (only when histories are *supposed* to change) with
+``PYTHONPATH=src python tests/fixtures/histories/regenerate.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import SCHEME_REGISTRY, make_scheme
+
+FIXTURE_DIR = pathlib.Path(__file__).resolve().parents[1] / "fixtures" / "histories"
+sys.path.insert(0, str(FIXTURE_DIR))
+
+from regenerate import GOLDEN_ROUNDS, golden_scenario, history_arrays  # noqa: E402
+
+ALL_SCHEMES = sorted(SCHEME_REGISTRY)
+#: schemes that support barrier-free aggregation (sync-limit parity)
+ASYNC_SCHEMES = ("GSFL", "SplitFed", "FL")
+
+
+def load_golden(name: str) -> dict[str, np.ndarray]:
+    path = FIXTURE_DIR / f"{name}.npz"
+    assert path.exists(), (
+        f"missing golden fixture {path}; run "
+        f"PYTHONPATH=src python tests/fixtures/histories/regenerate.py"
+    )
+    with np.load(path) as data:
+        return {key: data[key] for key in data.files}
+
+
+def assert_matches_golden(history, name: str) -> None:
+    golden = load_golden(name)
+    actual = history_arrays(history)
+    assert set(actual) == set(golden)
+    for key in golden:
+        np.testing.assert_array_equal(
+            actual[key],
+            golden[key],
+            err_msg=(
+                f"{name}: {key} diverged from the golden fixture — either a "
+                f"parity regression or an intentional history change "
+                f"(regenerate the fixtures and justify it in the PR)"
+            ),
+        )
+
+
+class TestGoldenHistories:
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_scheme_reproduces_golden_bitwise(self, name):
+        scheme = make_scheme(name, golden_scenario().build())
+        history = scheme.run(GOLDEN_ROUNDS)
+        assert_matches_golden(history, name)
+
+
+class TestSyncLimitOfAsyncEngine:
+    """``bounded:0`` must be *exactly* the barrier, goldens included."""
+
+    @pytest.mark.parametrize("name", ASYNC_SCHEMES)
+    def test_bounded_zero_matches_golden_bitwise(self, name):
+        from dataclasses import replace
+
+        scenario = golden_scenario()
+        scenario.scheme = replace(scenario.scheme, aggregation="bounded:0")
+        scheme = make_scheme(name, scenario.build())
+        assert scheme.aggregation_policy.synchronous
+        history = scheme.run(GOLDEN_ROUNDS)
+        assert_matches_golden(history, name)
+        # The sync barrier never routes through the aggregation server.
+        assert scheme.aggregation_updates == []
+
+    @pytest.mark.parametrize("name", ASYNC_SCHEMES)
+    def test_explicit_sync_matches_golden_bitwise(self, name):
+        from dataclasses import replace
+
+        scenario = golden_scenario()
+        scenario.scheme = replace(scenario.scheme, aggregation="sync")
+        scheme = make_scheme(name, scenario.build())
+        history = scheme.run(GOLDEN_ROUNDS)
+        assert_matches_golden(history, name)
+
+    def test_goldens_exist_for_every_registered_scheme(self):
+        for name in ALL_SCHEMES:
+            assert (FIXTURE_DIR / f"{name}.npz").exists()

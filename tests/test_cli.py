@@ -47,6 +47,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--medium", "psychic"])
 
+    def test_aggregation_options(self):
+        for spec in ("sync", "async", "bounded:0", "bounded:3"):
+            args = build_parser().parse_args(["run", "--aggregation", spec])
+            assert args.aggregation == spec
+
+    @pytest.mark.parametrize("spec", ["fifo", "bounded", "bounded:-1", "bounded:x"])
+    def test_malformed_aggregation_rejected(self, spec):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--aggregation", spec])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -113,3 +123,91 @@ class TestCommands:
         assert all(r["end_s"] >= r["start_s"] for r in activities)
         summary = [r for r in rows if r["type"] == "energy_summary"]
         assert len(summary) == 1 and summary[0]["total_j"] > 0
+
+    def test_churn_uptime_zero_is_a_clean_config_error(self, capsys):
+        code = main(
+            ["run", "--scale", "fast", "--scheme", "FL", "--rounds", "1",
+             "--churn-uptime", "0", "--churn-downtime", "5"]
+        )
+        assert code == 2
+        assert "churn_uptime_s must be > 0" in capsys.readouterr().err
+
+    def test_churn_downtime_zero_is_a_clean_config_error(self, capsys):
+        code = main(
+            ["run", "--scale", "fast", "--scheme", "FL", "--rounds", "1",
+             "--churn-uptime", "5", "--churn-downtime", "0"]
+        )
+        assert code == 2
+        assert "churn_downtime_s must be > 0" in capsys.readouterr().err
+
+
+#: exact key sets of every ``--trace-out`` JSONL record type
+TRACE_SCHEMAS = {
+    "meta": {
+        "type", "scheme", "rounds", "medium", "aggregation", "num_clients",
+        "total_latency_s", "events",
+    },
+    "activity": {
+        "type", "start_s", "end_s", "duration_s", "phase", "actor", "round",
+        "nbytes", "detail",
+    },
+    "round_timing": {"type", "round", "des_s", "analytic_s", "lower_bound_s"},
+    "aggregation_update": {
+        "type", "unit", "unit_round", "time_s", "staleness", "alpha", "weight",
+    },
+    "energy": {"type", "actor", "tx_j", "rx_j", "compute_j", "idle_j", "total_j"},
+    "energy_summary": {"type", "tx_j", "rx_j", "compute_j", "idle_j", "total_j"},
+}
+
+
+class TestTraceRoundTrip:
+    """Schema-level round-trip of the JSONL trace export."""
+
+    def _rows(self, tmp_path, extra_args):
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            ["run", "--scale", "fast", "--rounds", "2", "--trace-out", str(path)]
+            + extra_args
+        )
+        assert code == 0
+        return [json.loads(line) for line in path.read_text().splitlines()]
+
+    def _check_schemas(self, rows):
+        from repro.sim.trace import PHASES
+
+        assert rows, "trace export wrote no rows"
+        for row in rows:
+            assert row["type"] in TRACE_SCHEMAS, f"unknown record type: {row}"
+            assert set(row) == TRACE_SCHEMAS[row["type"]], f"schema drift: {row}"
+        for row in rows:
+            if row["type"] == "activity":
+                assert row["phase"] in PHASES
+                assert row["end_s"] >= row["start_s"] >= 0
+                assert row["nbytes"] >= 0 and row["round"] >= 0
+
+    def test_sync_trace_schema(self, tmp_path, capsys):
+        rows = self._rows(tmp_path, ["--scheme", "GSFL"])
+        self._check_schemas(rows)
+        # synchronous runs log no per-update staleness rows
+        assert not [r for r in rows if r["type"] == "aggregation_update"]
+
+    def test_async_trace_schema_and_staleness_fields(self, tmp_path, capsys):
+        rows = self._rows(
+            tmp_path,
+            ["--scheme", "GSFL", "--aggregation", "bounded:2",
+             "--straggler-rate", "0.5"],
+        )
+        self._check_schemas(rows)
+        assert rows[0]["aggregation"] == "bounded:2"
+        updates = [r for r in rows if r["type"] == "aggregation_update"]
+        assert updates, "async run exported no staleness rows"
+        for row in updates:
+            assert isinstance(row["staleness"], int)
+            assert 0 <= row["staleness"] <= 2  # never exceeds the bound K
+            assert 0.0 < row["alpha"] <= 1.0
+            assert row["time_s"] >= 0 and row["unit_round"] >= 0
+
+    def test_async_fl_trace(self, tmp_path, capsys):
+        rows = self._rows(tmp_path, ["--scheme", "FL", "--aggregation", "async"])
+        self._check_schemas(rows)
+        assert [r for r in rows if r["type"] == "aggregation_update"]
