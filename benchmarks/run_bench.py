@@ -223,6 +223,7 @@ def runtime_report(quick: bool) -> dict:
         print(f"{label:>24}: static {static_lat:8.3f} s | contended {cont_lat:8.3f} s "
               f"({(cont_lat / static_lat - 1.0) * 100:+.2f}%)")
     report["async"] = async_round_latency_report(quick)
+    report["failures"] = failure_model_report(quick)
     return report
 
 
@@ -234,6 +235,14 @@ def async_round_latency_report(quick: bool) -> dict:
     the barrier-free policies only pay each group's own penalties (max of
     per-group sums) — the wall-clock argument for dropping the barrier.
     One row per aggregation mode, plus the per-update staleness profile.
+
+    The fleet is heterogeneous (log-normal compute spread) so the group
+    pipelines genuinely drift apart and the barrier-free policies bank
+    *observable* staleness; ``updates``/``max_staleness``/``mean_staleness``
+    come straight from the server's ``UpdateRecord`` commit log.  The sync
+    barrier never routes through the server, so its row reports the
+    barrier's own ledger: every group commits every round at staleness 0
+    by construction.
     """
     from dataclasses import replace
 
@@ -243,15 +252,18 @@ def async_round_latency_report(quick: bool) -> dict:
 
     rounds = 2 if quick else 4
     straggler_rate = 0.4
+    heterogeneity = 1.0
     report: dict = {
         "scheme": "GSFL",
         "rounds": rounds,
         "straggler_rate": straggler_rate,
         "straggler_slowdown": 5.0,
+        "heterogeneity": heterogeneity,
         "modes": {},
     }
     for mode in ("sync", "bounded:1", "bounded:2", "async"):
         scenario = fast_scenario(with_wireless=True)
+        scenario.wireless = replace(scenario.wireless, heterogeneity=heterogeneity)
         scenario.dynamics = DynamicsConfig(
             straggler_rate=straggler_rate, straggler_slowdown=5.0, seed=0
         )
@@ -259,20 +271,80 @@ def async_round_latency_report(quick: bool) -> dict:
         scheme = make_scheme("GSFL", scenario.build())
         history = scheme.run(rounds)
         total = history.total_latency_s
-        staleness = [u.staleness for u in scheme.aggregation_updates]
+        if scheme.aggregation_policy.synchronous:
+            # Barrier ledger: one commit per group per round, never stale.
+            staleness = [0] * (scheme.num_groups * rounds)
+        else:
+            staleness = [u.staleness for u in scheme.aggregation_updates]
         report["modes"][mode] = {
             "total_latency_s": total,
             "mean_round_latency_s": total / rounds,
             "final_accuracy": history.final_accuracy,
             "updates": len(staleness),
             "max_staleness": max(staleness) if staleness else 0,
+            "mean_staleness": (
+                sum(staleness) / len(staleness) if staleness else 0.0
+            ),
         }
         label = f"gsfl {mode} strag={straggler_rate:g}"
         print(f"{label:>24}: total {total:8.3f} s "
-              f"({total / rounds:.3f} s/round)")
+              f"({total / rounds:.3f} s/round), "
+              f"max staleness {report['modes'][mode]['max_staleness']}")
     sync_total = report["modes"]["sync"]["total_latency_s"]
     for mode, row in report["modes"].items():
         row["speedup_vs_sync"] = sync_total / row["total_latency_s"]
+    return report
+
+
+def failure_model_report(quick: bool) -> dict:
+    """Mid-activity failure injection: per-scheme latency at churn on/off.
+
+    Each scheme runs the same churn trace twice — ``failure_model="none"``
+    (clients never fail: the no-churn baseline) and ``"mid-activity"``
+    (in-flight preemption with retry/reroute/surrender recovery) — so the
+    latency delta is exactly the cost of failures plus recovery.  Abort
+    accounting comes from the trace recorder (every preemption resolves
+    to a retry row, a reroute, or a surrender).
+    """
+    from repro.experiments.dynamics import DynamicsConfig
+    from repro.experiments.runner import make_scheme
+    from repro.experiments.scenario import fast_scenario
+
+    rounds = 2 if quick else 4
+    churn = {"churn_uptime_s": 0.15, "churn_downtime_s": 0.05}
+    report: dict = {
+        "rounds": rounds,
+        "max_retries": 2,
+        **churn,
+        "schemes": {},
+    }
+    for name in ("GSFL", "SplitFed", "FL"):
+        row: dict = {}
+        for model in ("none", "mid-activity"):
+            scenario = fast_scenario(with_wireless=True)
+            scenario.dynamics = DynamicsConfig(
+                failure_model=model, max_retries=2, seed=0, **churn
+            )
+            scheme = make_scheme(name, scenario.build())
+            history = scheme.run(rounds)
+            aborts = scheme.recorder.aborts
+            key = "churn_off" if model == "none" else "churn_on"
+            row[key] = {
+                "failure_model": model,
+                "total_latency_s": history.total_latency_s,
+                "final_accuracy": history.final_accuracy,
+                "aborts": len(aborts),
+                "retries": len(scheme.recorder.retries),
+                "reroutes": sum(a.resolution == "reroute" for a in aborts),
+                "surrenders": sum(a.resolution == "surrender" for a in aborts),
+            }
+        off, on = row["churn_off"], row["churn_on"]
+        row["latency_overhead"] = on["total_latency_s"] / off["total_latency_s"] - 1.0
+        report["schemes"][name] = row
+        print(f"{name + ' failures':>24}: off {off['total_latency_s']:8.3f} s | "
+              f"on {on['total_latency_s']:8.3f} s "
+              f"({row['latency_overhead'] * 100:+.1f}%, {on['aborts']} aborts, "
+              f"{on['retries']} retries, {on['surrenders']} surrenders)")
     return report
 
 # Whole-round ops need the executor subsystem; skipped gracefully when the

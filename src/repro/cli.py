@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli run --scheme GSFL --medium contended --heterogeneity 0.8
     python -m repro.cli run --scheme FL --participation 0.5 --straggler-rate 0.2
     python -m repro.cli run --scheme GSFL --rounds 3 --trace-out trace.jsonl
+    python -m repro.cli run --scheme GSFL --churn-uptime 0.5 --churn-downtime 0.1 \\
+        --failure-model mid-activity --max-retries 2
     python -m repro.cli cuts
     python -m repro.cli info
 
@@ -23,7 +25,7 @@ import json
 import sys
 
 from repro.exec import EXECUTOR_KINDS, Executor, make_executor
-from repro.experiments.dynamics import DynamicsConfig
+from repro.experiments.dynamics import FAILURE_MODELS, DynamicsConfig
 from repro.experiments.figures import run_fig2a, run_fig2b
 from repro.experiments.runner import SCHEME_REGISTRY, make_scheme
 from repro.experiments.scenario import fast_scenario, paper_scenario
@@ -132,6 +134,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="mean client down-window in seconds",
     )
     prun.add_argument(
+        "--failure-model", choices=FAILURE_MODELS, default="round",
+        help="granularity at which churn bites: 'none' ignores churn "
+        "entirely, 'round' (default) resolves it at round boundaries, "
+        "'mid-activity' preempts in-flight transfers/compute the instant "
+        "a client's up-window closes (protocol-level retry/reroute/"
+        "surrender recovery applies)",
+    )
+    prun.add_argument(
+        "--max-retries", type=int, default=2,
+        help="per-round retry budget after a mid-activity preemption "
+        "(exhausted budget reroutes the relay chain or surrenders the round)",
+    )
+    prun.add_argument(
         "--aggregation", type=_aggregation_spec, default="sync",
         metavar="{sync,async,bounded:K}",
         help="server aggregation mode: 'sync' is the paper's per-round "
@@ -179,6 +194,8 @@ def _dynamics_config(args: argparse.Namespace) -> DynamicsConfig | None:
         and args.straggler_slowdown == 4.0
         and args.churn_uptime is None
         and args.churn_downtime is None
+        and args.failure_model == "round"
+        and args.max_retries == 2
     ):
         return None
     return DynamicsConfig(
@@ -187,6 +204,8 @@ def _dynamics_config(args: argparse.Namespace) -> DynamicsConfig | None:
         churn_downtime_s=args.churn_downtime,
         straggler_rate=args.straggler_rate,
         straggler_slowdown=args.straggler_slowdown,
+        failure_model=args.failure_model,
+        max_retries=args.max_retries,
         seed=args.seed,
     )
 
@@ -209,12 +228,19 @@ def _export_trace(path: str, scheme: "object") -> None:
                 "rounds": len(scheme.round_timings),
                 "medium": scheme.config.medium,
                 "aggregation": scheme.config.aggregation,
+                "failure_model": getattr(scheme, "failure_model", "none"),
                 "num_clients": scheme.num_clients,
                 "total_latency_s": total_span,
                 "events": len(recorder),
+                "aborts": len(recorder.aborts),
+                "retries": len(recorder.retries),
             }
         )
         for row in recorder.to_rows():
+            emit(row)
+        for row in recorder.abort_rows():
+            emit(row)
+        for row in recorder.retry_rows():
             emit(row)
         for t in scheme.round_timings:
             emit(

@@ -82,6 +82,13 @@ class GroupSplitFederatedLearning(AsyncSplitStateMixin, Scheme):
 
     name = "GSFL"
     supports_async = True
+    #: mid-activity failure recovery: once the retry budget is spent, the
+    #: relay chain re-routes around the dead client — the AP re-issues
+    #: its cached client-model copy to the next relay — and the group's
+    #: contribution is recorded as *partial*; when the failed client has
+    #: no live successor (its upload was the chain's last hop), the group
+    #: surrenders the round instead.
+    _recovery_mode = "reroute"
 
     def __init__(
         self,

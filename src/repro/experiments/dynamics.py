@@ -16,6 +16,19 @@ sees more churn than a short one:
   bitwise unaffected, which keeps the learning/timing decoupling honest
   and testable.
 
+The **failure model** selects the granularity at which churn bites:
+
+* ``"none"`` — clients never fail: churn windows are ignored entirely
+  (participation sampling and stragglers still apply);
+* ``"round"`` — the default, and the historical behaviour: a client
+  inside a down-window when a round (or async unit-round) starts sits
+  that round out, but work in flight is never interrupted;
+* ``"mid-activity"`` — churn preempts *running* activities: the instant
+  a transmitting or computing client's up-window closes, its in-flight
+  flow/job is aborted by the runtime and the scheme's protocol-level
+  recovery (retry after the client recovers, re-route the relay chain,
+  or surrender the round) kicks in, bounded by ``max_retries``.
+
 All draws flow through spawned per-purpose generators, so a scenario's
 dynamics replay identically for a fixed seed regardless of scheme.
 """
@@ -27,9 +40,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.utils.validation import check_non_negative, check_positive
+from repro.utils.validation import check_in_choices, check_non_negative, check_positive
 
-__all__ = ["DynamicsConfig", "RoundConditions", "ClientDynamics"]
+__all__ = ["FAILURE_MODELS", "DynamicsConfig", "RoundConditions", "ClientDynamics"]
+
+#: supported failure models (granularity of churn resolution)
+FAILURE_MODELS = ("none", "round", "mid-activity")
 
 
 @dataclass
@@ -46,6 +62,8 @@ class DynamicsConfig:
     straggler_rate: float = 0.0
     straggler_slowdown: float = 4.0
     min_participants: int = 1
+    failure_model: str = "round"
+    max_retries: int = 2
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -80,11 +98,20 @@ class DynamicsConfig:
                 f"straggler_slowdown must be >= 1, got {self.straggler_slowdown}"
             )
         check_non_negative("min_participants", self.min_participants)
+        check_in_choices("failure_model", self.failure_model, FAILURE_MODELS)
+        check_non_negative("max_retries", self.max_retries)
         return self
 
     @property
     def has_churn(self) -> bool:
-        return self.churn_uptime_s is not None
+        """Whether churn windows shape availability at all.
+
+        ``failure_model="none"`` switches the churn trace off wholesale —
+        clients are treated as always up — so the one knob cleanly covers
+        every query path (round membership, recovery scans, preemption
+        deadlines).
+        """
+        return self.churn_uptime_s is not None and self.failure_model != "none"
 
 
 @dataclass(frozen=True)
@@ -146,6 +173,19 @@ class ClientDynamics:
         return [
             (edges[i], edges[i + 1]) for i in range(0, len(edges) - 1, 2)
         ]
+
+    def next_failure_s(self, client: int, t: float) -> float | None:
+        """Absolute instant the current up-window of ``client`` closes.
+
+        ``None`` without churn or when the client is already down at
+        ``t`` (there is no up-window to close).  This is the preemption
+        deadline the mid-activity failure model races in-flight
+        activities against.
+        """
+        if not self.config.has_churn or not self.available_at(client, t):
+            return None
+        toggles = self._toggles[client]
+        return toggles[bisect_right(toggles, t)]
 
     def next_recovery_s(self, t: float, clients: "list[int] | None" = None) -> float | None:
         """Earliest absolute time after ``t`` at which a currently-down

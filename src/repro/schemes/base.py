@@ -34,9 +34,11 @@ from repro.data.dataset import DataLoader, Dataset
 from repro.exec import Executor, SerialExecutor
 from repro.metrics.evaluate import evaluate_model
 from repro.metrics.history import TrainingHistory
+from repro.sim.failures import FailureInjector
 from repro.sim.runtime import (
     Demand,
     Runtime,
+    TrackRecovery,
     demand_lower_bound_s,
     demand_nominal_s,
 )
@@ -244,6 +246,12 @@ class Scheme:
     #: whether the scheme implements the barrier-free unit-pipeline
     #: contract (set by subclasses that override the ``_async_*`` hooks)
     supports_async = False
+    #: how the scheme recovers from a mid-activity preemption once the
+    #: retry budget is spent: ``"retry"`` surrenders the round (FL /
+    #: SplitFed — the unit *is* the dead client), ``"reroute"`` skips the
+    #: dead client's pipeline section and continues with the survivors
+    #: (GSFL relay chains)
+    _recovery_mode = "retry"
 
     def __init__(
         self,
@@ -273,6 +281,19 @@ class Scheme:
         self.dynamics = dynamics
         self.history = TrainingHistory(scheme=self.name)
         self.runtime = self._make_runtime()
+        # Mid-activity failure model: arm the runtime's preemption source.
+        # ``none``/``round`` leave the injector unset, so demand
+        # resolution is event-for-event identical to the historical path
+        # (the golden-history suite pins that bitwise).
+        self.failure_model = (
+            dynamics.config.failure_model if dynamics is not None else "none"
+        )
+        if (
+            dynamics is not None
+            and self.failure_model == "mid-activity"
+            and dynamics.config.has_churn
+        ):
+            self.runtime.failure_injector = FailureInjector(dynamics)
         self.aggregation_policy: StalenessPolicy = parse_aggregation(
             self.config.aggregation
         )
@@ -372,12 +393,31 @@ class Scheme:
                 return RetryAt(resume)
         return present, slowdowns
 
+    def _track_recovery(self) -> "TrackRecovery | None":
+        """Recovery semantics for preempted tracks (``None`` = disabled)."""
+        injector = self.runtime.failure_injector
+        if injector is None or self.dynamics is None:
+            return None
+        return TrackRecovery(
+            resume_s=injector.recovery_s,
+            max_retries=self.dynamics.config.max_retries,
+            mode=self._recovery_mode,
+        )
+
     @property
     def aggregation_updates(self) -> "list[UpdateRecord]":
         """Per-commit staleness log of a barrier-free run (empty for sync)."""
         if self._aggregation_server is None:
             return []
         return list(self._aggregation_server.updates)
+
+    @property
+    def aggregation_aborts(self) -> "list":
+        """Aborted/partial unit-round contributions of a barrier-free run
+        (:class:`~repro.sim.server.AbortRecord`; empty for sync)."""
+        if self._aggregation_server is None:
+            return []
+        return list(self._aggregation_server.aborted)
 
     # ------------------------------------------------------------------
     # driver
@@ -414,12 +454,20 @@ class Scheme:
             else:
                 slowdowns = None
             stages = self._run_round(r)
+            aborts_before = len(self.recorder.aborts)
             duration = self.aggregation_policy.resolve_round(
-                self.runtime, stages, self.recorder, r, compute_slowdown=slowdowns
+                self.runtime, stages, self.recorder, r,
+                compute_slowdown=slowdowns, recovery=self._track_recovery(),
             )
             lower = sum(s.duration_s for s in stages)
             analytic = sum(s.nominal_duration_s for s in stages)
-            if duration < lower * (1.0 - 1e-9) - 1e-12:
+            if (
+                len(self.recorder.aborts) == aborts_before
+                and duration < lower * (1.0 - 1e-9) - 1e-12
+            ):
+                # Mid-activity preemption legitimately cuts tracks short
+                # (a surrendered/rerouted track skips activities), so the
+                # floor only binds on rounds in which no abort fired.
                 raise AssertionError(
                     f"DES-resolved round duration ({duration}) undercuts the "
                     f"analytic lower bound ({lower}) — kernel or demand bug"
@@ -460,7 +508,10 @@ class Scheme:
         last_end = self.runtime.now
 
         def work_fn(unit_index: int, unit_round: int):
-            return self._async_unit_round(units[unit_index], unit_round)
+            work = self._async_unit_round(units[unit_index], unit_round)
+            if isinstance(work, UnitRoundWork) and work.recovery is None:
+                work.recovery = self._track_recovery()
+            return work
 
         def on_commit(unit_index, unit_round, work, record) -> None:
             nonlocal recorded, last_end

@@ -27,6 +27,11 @@ class FederatedLearning(Scheme):
 
     name = "FL"
     supports_async = True
+    #: mid-activity failure recovery: a preempted download/compute/upload
+    #: is re-attempted after the client's ``next_recovery_s``, up to the
+    #: retry budget; a client that stays unreachable surrenders its round
+    #: (no commit — there is no other member to fall back on).
+    _recovery_mode = "retry"
 
     def __init__(self, *args: object, **kwargs: object) -> None:
         super().__init__(*args, **kwargs)

@@ -286,6 +286,13 @@ class AsyncSplitStateMixin:
     into ``_global_client_state`` / ``_global_server_state`` and keep the
     scheme's :class:`~repro.nn.split.SplitModel` loaded with the mixed
     global (the halves share modules with the full evaluation model).
+
+    Under the mid-activity failure model a unit-round whose track
+    surrendered never reaches :meth:`_async_apply_update` — the
+    aggregation server drops the payload before committing and records
+    the loss as an :class:`~repro.sim.server.AbortRecord` instead, so the
+    mixed global only ever contains updates whose uploads genuinely
+    completed.
     """
 
     def _async_apply_update(self, payload: object, alpha: float) -> None:

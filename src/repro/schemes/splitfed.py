@@ -37,6 +37,10 @@ class SplitFedLearning(AsyncSplitStateMixin, Scheme):
 
     name = "SplitFed"
     supports_async = True
+    #: mid-activity failure recovery: singleton "chains" have no relay to
+    #: fall back on, so SplitFed retries the aborted leg after the client
+    #: recovers (bounded by the retry budget) and surrenders otherwise.
+    _recovery_mode = "retry"
 
     def __init__(self, *args: object, cut_layer: int = 1, **kwargs: object) -> None:
         super().__init__(*args, **kwargs)

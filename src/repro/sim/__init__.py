@@ -9,6 +9,7 @@ training schemes are expressed as processes over this kernel.
 
 from repro.sim.engine import Environment, Process
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.failures import FailureInjector
 from repro.sim.resources import (
     EqualShare,
     FairShareLink,
@@ -19,11 +20,15 @@ from repro.sim.resources import (
 from repro.sim.runtime import (
     ComputeDemand,
     FixedDemand,
+    Preemption,
     Runtime,
+    TrackOutcome,
+    TrackRecovery,
     TransmitDemand,
     TransmitLeg,
 )
 from repro.sim.server import (
+    AbortRecord,
     AggregationServer,
     BoundedStaleness,
     PolynomialStaleness,
@@ -32,7 +37,14 @@ from repro.sim.server import (
     UpdateRecord,
     parse_aggregation,
 )
-from repro.sim.trace import PHASES, TraceEvent, TraceRecorder
+from repro.sim.trace import (
+    ABORT_RESOLUTIONS,
+    PHASES,
+    AbortEvent,
+    RetryEvent,
+    TraceEvent,
+    TraceRecorder,
+)
 
 __all__ = [
     "Environment",
@@ -51,14 +63,22 @@ __all__ = [
     "TransmitLeg",
     "TransmitDemand",
     "Runtime",
+    "Preemption",
+    "TrackRecovery",
+    "TrackOutcome",
+    "FailureInjector",
     "StalenessPolicy",
     "SyncBarrier",
     "PolynomialStaleness",
     "BoundedStaleness",
     "AggregationServer",
     "UpdateRecord",
+    "AbortRecord",
     "parse_aggregation",
     "TraceEvent",
+    "AbortEvent",
+    "RetryEvent",
     "TraceRecorder",
     "PHASES",
+    "ABORT_RESOLUTIONS",
 ]

@@ -1,0 +1,55 @@
+"""Mid-activity failure injection for the execution runtime.
+
+Under ``failure_model="mid-activity"`` the churn trace no longer resolves
+only at round boundaries: the instant a client's up-window closes, its
+in-flight transmission is cancelled on the shared medium and its running
+compute job is cut short, at the exact absolute-clock toggle time of the
+availability trace.  :class:`FailureInjector` is the thin adapter the
+:class:`~repro.sim.runtime.Runtime` queries while resolving demands — it
+answers two questions about one client:
+
+* :meth:`up_deadline` — until when may an activity started *now* run
+  before the client fails?  (``now`` itself when the client is already
+  down, so the activity aborts before it begins.)
+* :meth:`recovery_s` — when does a failed client come back up?  (The
+  retry-based recovery policies wait exactly this long before
+  re-attempting the aborted activity.)
+
+The injector is deliberately duck-typed over the dynamics realization
+(:class:`repro.experiments.dynamics.ClientDynamics` in production,
+scripted stand-ins in tests) so the simulation kernel keeps zero
+dependency on the experiments layer.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Resolves a churn trace against in-flight activities.
+
+    ``dynamics`` must provide ``available_at(client, t)``,
+    ``next_failure_s(client, t)`` and ``next_recovery_s(t, clients=...)``
+    — the availability-trace surface of ``ClientDynamics``.
+    """
+
+    def __init__(self, dynamics: object) -> None:
+        self.dynamics = dynamics
+
+    def up_deadline(self, client: int, now: float) -> float | None:
+        """Latest instant work of ``client`` started at ``now`` may run to.
+
+        Returns ``now`` itself when the client is already inside a
+        down-window (the caller must abort immediately), the absolute end
+        of the current up-window otherwise, or ``None`` when the trace
+        places no failure on this client (churn disabled).
+        """
+        if not self.dynamics.available_at(client, now):
+            return now
+        return self.dynamics.next_failure_s(client, now)
+
+    def recovery_s(self, client: int, now: float) -> float | None:
+        """Absolute instant ``client`` next comes back up (``None`` when
+        it is not down at ``now`` — retry immediately)."""
+        return self.dynamics.next_recovery_s(now, clients=[client])

@@ -213,6 +213,30 @@ class FairShareLink:
         self._reallocate()
         return flow.done
 
+    def abort(self, done: Event) -> float | None:
+        """Cancel the in-flight transfer identified by its ``done`` event.
+
+        The flow is charged for the service it received up to *now*,
+        removed from the medium, and the remaining capacity is re-divided
+        over the surviving transmitters at this exact instant.  The
+        flow's ``done`` event never fires — an aborted transfer delivers
+        nothing — and any already-scheduled completion for it becomes
+        stale.  Returns the undelivered bits, or ``None`` when the flow
+        is not in flight (already completed or never started here).
+        """
+        for flow in self._flows:
+            if flow.done is done:
+                break
+        else:
+            return None
+        self._settle()
+        # Invalidate the scheduled completion: the finisher callback
+        # checks identity against ``flow.completion`` and bails.
+        flow.completion = None
+        self._flows.remove(flow)
+        self._reallocate()
+        return flow.remaining_bits
+
     @property
     def active_flows(self) -> int:
         return len(self._flows)

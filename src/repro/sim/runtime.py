@@ -41,7 +41,7 @@ bookkeeping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
 from typing import TYPE_CHECKING, Callable, Union
 
@@ -51,6 +51,7 @@ from repro.sim.trace import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (layering)
     from repro.schemes.base import Stage
+    from repro.sim.failures import FailureInjector
 
 __all__ = [
     "FixedDemand",
@@ -60,6 +61,10 @@ __all__ = [
     "Demand",
     "demand_lower_bound_s",
     "demand_nominal_s",
+    "demand_clients",
+    "Preemption",
+    "TrackRecovery",
+    "TrackOutcome",
     "Runtime",
 ]
 
@@ -181,6 +186,81 @@ def demand_nominal_s(demand: Demand) -> float:
     return demand.nominal_s
 
 
+def demand_clients(demand: Demand) -> frozenset[int]:
+    """Client devices a demand's resolution depends on (empty for server
+    work and fixed durations) — the attribution the failure model uses to
+    decide whose churn can preempt an activity."""
+    if isinstance(demand, ComputeDemand) and demand.client is not None:
+        return frozenset((demand.client,))
+    if isinstance(demand, TransmitDemand):
+        return frozenset(leg.client for leg in demand.legs)
+    return frozenset()
+
+
+class Preemption(Exception):
+    """An in-flight activity was cut short by a client failure.
+
+    Raised by the runtime's demand resolution at the absolute-clock
+    instant the client's churn up-window closes; caught by
+    :meth:`Runtime.run_track`, which applies the track's
+    :class:`TrackRecovery` semantics.
+    """
+
+    def __init__(self, client: int, time_s: float) -> None:
+        super().__init__(f"client {client} failed at t={time_s:.6f}")
+        self.client = client
+        self.time_s = time_s
+
+
+@dataclass(frozen=True)
+class TrackRecovery:
+    """Protocol-level recovery semantics for a preempted activity track.
+
+    ``resume_s(client, now)`` maps a failed client to the absolute
+    instant it comes back up (the retry wait); ``max_retries`` bounds the
+    number of re-attempts per track; ``mode`` selects what happens once
+    the budget is spent:
+
+    * ``"retry"`` — the track surrenders (FL / SplitFed: a client that
+      stays unreachable past the budget contributes nothing this round);
+    * ``"reroute"`` — the track skips the dead client's remaining
+      pipeline section and resumes at the next live member's first
+      activity (GSFL: the AP falls back to the next relay, re-issuing
+      its cached client-model copy); when no live member follows, the
+      track surrenders (the chain's upload can never reach the server).
+    """
+
+    resume_s: Callable[[int, float], "float | None"]
+    max_retries: int = 2
+    mode: str = "retry"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.mode not in ("retry", "reroute"):
+            raise ValueError(f"unknown recovery mode {self.mode!r}")
+
+
+@dataclass
+class TrackOutcome:
+    """What happened to one activity track under the failure model.
+
+    ``completed`` is ``False`` exactly when the track surrendered —
+    stopped before its final activities could resolve.  ``rerouted``
+    lists clients whose pipeline sections were skipped (a *partial*
+    round: the surviving chain still delivers).  Every abort resolves to
+    exactly one retry, reroute, or surrender, so
+    ``aborts == retries + len(rerouted) + (1 if surrendered else 0)``.
+    """
+
+    completed: bool = True
+    aborts: int = 0
+    retries: int = 0
+    rerouted: list[int] = field(default_factory=list)
+    surrendered: bool = False
+    surrendered_client: int | None = None
+
+
 class Runtime:
     """Persistent per-run execution substrate: clock + devices + medium.
 
@@ -210,6 +290,11 @@ class Runtime:
                 self.env, total_bandwidth_hz, policy=share_policy or NominalShare()
             )
         self._devices: dict[int, Resource] = {}
+        #: mid-activity failure source (``None`` = activities never
+        #: preempt; the ``none``/``round`` failure models leave this unset
+        #: so demand resolution is event-for-event identical to a run
+        #: without the abort plumbing)
+        self.failure_injector: "FailureInjector | None" = None
 
     @property
     def now(self) -> float:
@@ -242,7 +327,8 @@ class Runtime:
         recorder: TraceRecorder | None,
         round_index: int,
         compute_slowdown: dict[int, float] | None = None,
-    ):
+        recovery: TrackRecovery | None = None,
+    ) -> "TrackOutcome":
         """Process generator resolving one sequential activity track.
 
         Each activity's demand is resolved against the instantaneous
@@ -251,11 +337,72 @@ class Runtime:
         aggregation engine (one free-running pipeline per unit) are built
         from this primitive.  ``compute_slowdown`` maps client index →
         multiplicative straggler factor on that client's compute demands.
+
+        With a :attr:`failure_injector` installed, any activity may raise
+        :class:`Preemption` mid-resolution; ``recovery`` then decides the
+        response per abort — wait out the client's down-window and retry
+        the same activity (budgeted by ``max_retries``), re-route around
+        the dead client (``mode="reroute"``), or surrender the rest of
+        the track.  The generator's return value is the
+        :class:`TrackOutcome` (retrieve it via ``yield from`` or the
+        spawned process's event value).
         """
         env = self.env
-        for act in activities:
+        outcome = TrackOutcome()
+        attempts = 0
+        skipped: set[int] = set()
+        index = 0
+        while index < len(activities):
+            act = activities[index]
+            if skipped and demand_clients(act.demand) & skipped:
+                # Any activity still involving a rerouted-around client
+                # (its own work, or a relay leg touching it) is part of
+                # the dead pipeline section: the AP's cached-copy
+                # fallback replaces it at zero cost.
+                index += 1
+                continue
             begin = env.now
-            yield from self._perform(act.demand, compute_slowdown)
+            try:
+                yield from self._perform(act.demand, compute_slowdown)
+            except Preemption as failure:
+                outcome.aborts += 1
+                resolution, jump = self._resolve_abort(
+                    failure, attempts, recovery, activities, index, skipped
+                )
+                if recorder is not None:
+                    recorder.record_abort(
+                        start=begin,
+                        time_s=env.now,
+                        phase=act.phase,
+                        actor=act.actor,
+                        round_index=round_index,
+                        client=failure.client,
+                        resolution=resolution,
+                    )
+                if resolution == "retry":
+                    attempts += 1
+                    outcome.retries += 1
+                    resume = recovery.resume_s(failure.client, env.now)
+                    if resume is not None and resume > env.now:
+                        yield env.timeout(resume - env.now)
+                    if recorder is not None:
+                        recorder.record_retry(
+                            time_s=env.now,
+                            actor=act.actor,
+                            round_index=round_index,
+                            client=failure.client,
+                            attempt=attempts,
+                        )
+                    continue  # re-attempt the same activity from scratch
+                if resolution == "reroute":
+                    skipped.add(failure.client)
+                    outcome.rerouted.append(failure.client)
+                    index = jump
+                    continue
+                outcome.completed = False
+                outcome.surrendered = True
+                outcome.surrendered_client = failure.client
+                return outcome
             if recorder is not None:
                 recorder.record(
                     start=begin,
@@ -266,6 +413,35 @@ class Runtime:
                     nbytes=act.nbytes,
                     detail=act.detail,
                 )
+            index += 1
+        return outcome
+
+    @staticmethod
+    def _resolve_abort(
+        failure: Preemption,
+        attempts: int,
+        recovery: TrackRecovery | None,
+        activities: "list",
+        index: int,
+        skipped: set[int],
+    ) -> tuple[str, int]:
+        """Pick one abort's resolution: ``(kind, resume_index)``.
+
+        ``kind`` is ``"retry"`` while budget remains, then ``"reroute"``
+        (with the index of the next activity executable *without* any
+        dead client — a relay leg still touching one would preempt again
+        instantly) when the track's recovery mode allows it and such a
+        live successor exists, else ``"surrender"``.
+        """
+        if recovery is not None and attempts < recovery.max_retries:
+            return "retry", index
+        if recovery is not None and recovery.mode == "reroute":
+            dead = skipped | {failure.client}
+            for j in range(index + 1, len(activities)):
+                clients = demand_clients(activities[j].demand)
+                if clients and not clients & dead:
+                    return "reroute", j
+        return "surrender", index
 
     def execute_round(
         self,
@@ -273,6 +449,7 @@ class Runtime:
         recorder: TraceRecorder | None,
         round_index: int,
         compute_slowdown: dict[int, float] | None = None,
+        recovery: TrackRecovery | None = None,
     ) -> float:
         """Run a round's stages to completion; returns the round duration.
 
@@ -286,21 +463,25 @@ class Runtime:
         from repro.sim.server import SyncBarrier  # local: avoids layering cycle
 
         return SyncBarrier().resolve_round(
-            self, stages, recorder, round_index, compute_slowdown
+            self, stages, recorder, round_index, compute_slowdown, recovery
         )
 
     # ------------------------------------------------------------------
     # demand resolution
     # ------------------------------------------------------------------
     def _perform(self, demand: Demand, slowdown: dict[int, float] | None):
+        injector = self.failure_injector
         if isinstance(demand, TransmitDemand) and self.medium is not None:
             for leg in demand.legs:
-                yield self.medium.transfer(
-                    leg.nbits,
-                    client=leg.client,
-                    rate_fn=leg.rate_fn,
-                    nominal=demand.nominal_hz,
-                )
+                if injector is not None:
+                    yield from self._transfer_preemptible(leg, demand, injector)
+                else:
+                    yield self.medium.transfer(
+                        leg.nbits,
+                        client=leg.client,
+                        rate_fn=leg.rate_fn,
+                        nominal=demand.nominal_hz,
+                    )
             return
         if isinstance(demand, ComputeDemand):
             seconds = demand.base_seconds
@@ -309,6 +490,18 @@ class Runtime:
             if demand.client is not None:
                 device = self.device(demand.client)
                 yield device.request()
+                if injector is not None:
+                    deadline = injector.up_deadline(demand.client, self.env.now)
+                    if deadline is not None and deadline < self.env.now + seconds:
+                        # The up-window closes before the job finishes:
+                        # run to the failure instant, free the device
+                        # slot, abandon the work.  (A deadline in the
+                        # past means the client is already down — the
+                        # job aborts before it starts.)
+                        if deadline > self.env.now:
+                            yield self.env.timeout(deadline - self.env.now)
+                        device.release()
+                        raise Preemption(demand.client, self.env.now)
                 yield self.env.timeout(seconds)
                 device.release()
             else:
@@ -317,3 +510,34 @@ class Runtime:
         # FixedDemand / float, or a TransmitDemand without a medium
         # (static subchannels): resolve at the nominal share.
         yield self.env.timeout(demand_nominal_s(demand))
+
+    def _transfer_preemptible(
+        self, leg: TransmitLeg, demand: TransmitDemand, injector: "FailureInjector"
+    ):
+        """One leg on the shared medium, raced against its client's churn.
+
+        The completion time of a contended flow is unknown up front (any
+        membership change reschedules it), so the leg races an any-of
+        against a timeout at the transmitter's up-window deadline; losing
+        the race cancels the flow on the medium — shares recompute over
+        the surviving transmitter set at that exact instant — and raises
+        :class:`Preemption`.  Ties go to completion: the flow's scheduled
+        completion entered the event queue first.
+        """
+        env = self.env
+        deadline = injector.up_deadline(leg.client, env.now)
+        if deadline is not None and deadline <= env.now:
+            raise Preemption(leg.client, env.now)  # down before the leg starts
+        done = self.medium.transfer(
+            leg.nbits,
+            client=leg.client,
+            rate_fn=leg.rate_fn,
+            nominal=demand.nominal_hz,
+        )
+        if deadline is None:
+            yield done
+            return
+        yield env.any_of([done, env.timeout(deadline - env.now)])
+        if not done.triggered:
+            self.medium.abort(done)
+            raise Preemption(leg.client, env.now)

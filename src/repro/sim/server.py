@@ -45,7 +45,7 @@ from repro.sim.engine import Environment
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports (layering)
     from repro.schemes.base import Activity, Stage
-    from repro.sim.runtime import Runtime
+    from repro.sim.runtime import Runtime, TrackRecovery
     from repro.sim.trace import TraceRecorder
 
 __all__ = [
@@ -58,6 +58,7 @@ __all__ = [
     "UnitRoundWork",
     "RetryAt",
     "UpdateRecord",
+    "AbortRecord",
     "AggregationServer",
 ]
 
@@ -107,8 +108,19 @@ class SyncBarrier(StalenessPolicy):
         recorder: "TraceRecorder | None",
         round_index: int,
         compute_slowdown: dict[int, float] | None = None,
+        recovery: "TrackRecovery | None" = None,
     ) -> float:
-        """Replay one round's stages with barrier semantics; returns span."""
+        """Replay one round's stages with barrier semantics; returns span.
+
+        ``recovery`` (mid-activity failure model) applies per track: a
+        preempted track retries, re-routes, or surrenders on its own; the
+        stage barrier waits for every track's outcome either way, so a
+        surrendered track simply stops contributing latency.  Under the
+        barrier the aggregation math already ran at stage-construction
+        time, so sync-mode recovery is a *timing* semantics — the learned
+        weights stay those of the round-start membership (the
+        learning/timing decoupling the scenario layer guarantees).
+        """
         env = runtime.env
         start = env.now
 
@@ -118,7 +130,9 @@ class SyncBarrier(StalenessPolicy):
                     continue
                 procs = [
                     env.process(
-                        runtime.run_track(acts, recorder, round_index, compute_slowdown)
+                        runtime.run_track(
+                            acts, recorder, round_index, compute_slowdown, recovery
+                        )
                     )
                     for acts in stage.tracks.values()
                 ]
@@ -213,7 +227,9 @@ class UnitRoundWork:
     ``weight`` is the unit's FedAvg sample weight; ``slowdowns`` are
     per-client straggler multipliers applied while resolving compute
     demands; ``loss_sum``/``num_contributors`` feed the per-round
-    training-loss bookkeeping.
+    training-loss bookkeeping.  ``recovery`` carries the scheme's
+    mid-activity failure semantics (``None`` → preemption impossible or
+    an abort surrenders the track).
     """
 
     activities: "list[Activity]"
@@ -222,6 +238,7 @@ class UnitRoundWork:
     slowdowns: dict[int, float] | None = None
     loss_sum: float = 0.0
     num_contributors: int = 0
+    recovery: "TrackRecovery | None" = None
 
 
 @dataclass(frozen=True)
@@ -242,6 +259,23 @@ class UpdateRecord:
     staleness: int
     alpha: float
     weight: float
+
+
+@dataclass(frozen=True)
+class AbortRecord:
+    """One aborted or partial unit-round contribution.
+
+    Kept on the server *separately* from :class:`UpdateRecord` commits:
+    ``outcome="partial"`` means the unit still committed but with one
+    relay member rerouted around (``client``); ``outcome="surrender"``
+    means the unit-round delivered nothing — progress advanced, no merge.
+    """
+
+    unit: int
+    round_index: int
+    time_s: float
+    outcome: str
+    client: int | None = None
 
 
 class AggregationServer:
@@ -280,6 +314,8 @@ class AggregationServer:
         #: completed unit-rounds per unit (the gate and staleness source)
         self.completed = [0] * num_units
         self.updates: list[UpdateRecord] = []
+        #: aborted / partial contributions, distinct from the commit log
+        self.aborted: list[AbortRecord] = []
         self._progress = self.env.event()
 
     # ------------------------------------------------------------------
@@ -327,6 +363,34 @@ class AggregationServer:
         fired.succeed()
         return record
 
+    def _apply_outcome(
+        self, unit: int, round_index: int, work: UnitRoundWork, outcome: "object"
+    ) -> None:
+        """Fold a track's failure outcome into the unit-round contribution.
+
+        Rerouted members mark the commit *partial* (the surviving chain
+        still delivers); a surrendered track drops the payload and its
+        loss bookkeeping entirely — the round advances progress (the lag
+        gate must not deadlock on a dead unit) but commits nothing.
+        """
+        for client in outcome.rerouted:
+            self.aborted.append(
+                AbortRecord(unit, round_index, self.env.now, "partial", client)
+            )
+        if outcome.surrendered:
+            self.aborted.append(
+                AbortRecord(
+                    unit,
+                    round_index,
+                    self.env.now,
+                    "surrender",
+                    outcome.surrendered_client,
+                )
+            )
+            work.payload = None
+            work.loss_sum = 0.0
+            work.num_contributors = 0
+
     # ------------------------------------------------------------------
     # engine
     # ------------------------------------------------------------------
@@ -365,9 +429,12 @@ class AggregationServer:
                             f"(now={env.now})"
                         )
                     yield env.timeout(work.time_s - env.now)
-                yield from self.runtime.run_track(
-                    work.activities, recorder, round_index, work.slowdowns
+                outcome = yield from self.runtime.run_track(
+                    work.activities, recorder, round_index, work.slowdowns,
+                    work.recovery,
                 )
+                if outcome is not None:
+                    self._apply_outcome(unit, round_index, work, outcome)
                 record = self.commit(unit, work)
                 if on_commit is not None:
                     on_commit(unit, round_index, work, record)

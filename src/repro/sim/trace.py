@@ -4,6 +4,11 @@ Every simulated activity (computation, transmission, waiting, aggregation)
 is logged as a :class:`TraceEvent`.  The per-phase/per-actor aggregations
 drive the latency-breakdown benchmark and make the simulator auditable:
 the sum of a round's critical-path events must equal the round latency.
+
+Under the mid-activity failure model the recorder additionally logs every
+preemption as an :class:`AbortEvent` (with its retry/reroute/surrender
+resolution) and every recovery re-attempt as a :class:`RetryEvent` —
+the ``activity_abort`` / ``retry`` rows of the JSONL trace export.
 """
 
 from __future__ import annotations
@@ -12,7 +17,14 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable
 
-__all__ = ["TraceEvent", "TraceRecorder", "PHASES"]
+__all__ = [
+    "TraceEvent",
+    "AbortEvent",
+    "RetryEvent",
+    "TraceRecorder",
+    "PHASES",
+    "ABORT_RESOLUTIONS",
+]
 
 #: canonical phase names used across the schemes
 PHASES = (
@@ -28,6 +40,9 @@ PHASES = (
     "data_upload",
     "wait",
 )
+
+#: how a preempted activity was resolved (see ``TrackRecovery``)
+ABORT_RESOLUTIONS = ("retry", "reroute", "surrender")
 
 
 @dataclass(frozen=True)
@@ -51,11 +66,46 @@ class TraceEvent:
             raise ValueError(f"event ends before it starts: {self}")
 
 
+@dataclass(frozen=True)
+class AbortEvent:
+    """One mid-activity preemption: the activity that started at
+    ``start`` was cut short at ``time_s`` by ``client`` failing, and the
+    track resolved it as ``resolution`` (retry / reroute / surrender)."""
+
+    start: float
+    time_s: float
+    phase: str
+    actor: str
+    round_index: int
+    client: int
+    resolution: str
+
+    def __post_init__(self) -> None:
+        if self.time_s < self.start:
+            raise ValueError(f"abort precedes the activity start: {self}")
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """One recovery re-attempt: ``actor`` re-runs its aborted activity at
+    ``time_s`` (after waiting out ``client``'s down-window); ``attempt``
+    counts re-attempts within the track (1-based, bounded by the retry
+    budget)."""
+
+    time_s: float
+    actor: str
+    round_index: int
+    client: int
+    attempt: int
+
+
 class TraceRecorder:
     """Accumulates :class:`TraceEvent` rows with cheap aggregation helpers."""
 
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
+        self.aborts: list[AbortEvent] = []
+        self.retries: list[RetryEvent] = []
 
     def record(
         self,
@@ -72,6 +122,36 @@ class TraceRecorder:
             raise ValueError(f"unknown phase {phase!r}; expected one of {PHASES}")
         event = TraceEvent(start, end, phase, actor, round_index, nbytes, detail)
         self.events.append(event)
+        return event
+
+    def record_abort(
+        self,
+        start: float,
+        time_s: float,
+        phase: str,
+        actor: str,
+        round_index: int,
+        client: int,
+        resolution: str,
+    ) -> AbortEvent:
+        """Append one preemption (phase and resolution must be canonical)."""
+        if phase not in PHASES:
+            raise ValueError(f"unknown phase {phase!r}; expected one of {PHASES}")
+        if resolution not in ABORT_RESOLUTIONS:
+            raise ValueError(
+                f"unknown abort resolution {resolution!r}; "
+                f"expected one of {ABORT_RESOLUTIONS}"
+            )
+        event = AbortEvent(start, time_s, phase, actor, round_index, client, resolution)
+        self.aborts.append(event)
+        return event
+
+    def record_retry(
+        self, time_s: float, actor: str, round_index: int, client: int, attempt: int
+    ) -> RetryEvent:
+        """Append one recovery re-attempt."""
+        event = RetryEvent(time_s, actor, round_index, client, attempt)
+        self.retries.append(event)
         return event
 
     def __len__(self) -> int:
@@ -132,6 +212,36 @@ class TraceRecorder:
                 "detail": e.detail,
             }
             for e in self.events
+        ]
+
+    def abort_rows(self) -> list[dict]:
+        """Preemptions as plain dicts (the ``activity_abort`` JSONL rows)."""
+        return [
+            {
+                "type": "activity_abort",
+                "start_s": e.start,
+                "time_s": e.time_s,
+                "phase": e.phase,
+                "actor": e.actor,
+                "round": e.round_index,
+                "client": e.client,
+                "resolution": e.resolution,
+            }
+            for e in self.aborts
+        ]
+
+    def retry_rows(self) -> list[dict]:
+        """Recovery re-attempts as plain dicts (the ``retry`` JSONL rows)."""
+        return [
+            {
+                "type": "retry",
+                "time_s": e.time_s,
+                "actor": e.actor,
+                "round": e.round_index,
+                "client": e.client,
+                "attempt": e.attempt,
+            }
+            for e in self.retries
         ]
 
     def filter(

@@ -2,12 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro import nn
 from repro.data.dataset import ArrayDataset
 from repro.experiments.scenario import fast_scenario
+
+# Hypothesis budget profiles: "ci" keeps property sweeps cheap in the
+# per-PR gate; "weekly" (selected via HYPOTHESIS_PROFILE on the scheduled
+# CI job) burns far more examples hunting for rare interleavings.  Tests
+# that pin max_examples inline override the profile deliberately.
+settings.register_profile("ci", max_examples=25, deadline=None)
+settings.register_profile("weekly", max_examples=400, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -100,3 +100,39 @@ class TestSyncLimitOfAsyncEngine:
     def test_goldens_exist_for_every_registered_scheme(self):
         for name in ALL_SCHEMES:
             assert (FIXTURE_DIR / f"{name}.npz").exists()
+
+
+class TestFailureModelParity:
+    """Disabled failure models provably cost nothing.
+
+    The mid-activity abort plumbing (preemption deadlines, any-of races,
+    recovery waits) must be *event-for-event absent* when the failure
+    model is ``none`` or ``round``: attaching a dynamics realization with
+    either model reproduces every golden fixture bitwise — latency
+    included — for all six schemes.
+    """
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    @pytest.mark.parametrize("model", ["none", "round"])
+    def test_disabled_failure_models_match_golden_bitwise(self, name, model):
+        from repro.experiments.dynamics import DynamicsConfig
+
+        scenario = golden_scenario()
+        scenario.dynamics = DynamicsConfig(failure_model=model)
+        scheme = make_scheme(name, scenario.build())
+        assert scheme.runtime.failure_injector is None
+        history = scheme.run(GOLDEN_ROUNDS)
+        assert_matches_golden(history, name)
+        assert not scheme.recorder.aborts and not scheme.recorder.retries
+
+    def test_mid_activity_without_churn_matches_golden_bitwise(self):
+        """No churn trace → nothing can preempt: even ``mid-activity``
+        degenerates to the exact historical replay."""
+        from repro.experiments.dynamics import DynamicsConfig
+
+        scenario = golden_scenario()
+        scenario.dynamics = DynamicsConfig(failure_model="mid-activity")
+        scheme = make_scheme("GSFL", scenario.build())
+        assert scheme.runtime.failure_injector is None
+        history = scheme.run(GOLDEN_ROUNDS)
+        assert_matches_golden(history, "GSFL")

@@ -140,17 +140,42 @@ class TestCommands:
         assert code == 2
         assert "churn_downtime_s must be > 0" in capsys.readouterr().err
 
+    def test_negative_max_retries_is_a_clean_config_error(self, capsys):
+        code = main(
+            ["run", "--scale", "fast", "--scheme", "GSFL", "--rounds", "1",
+             "--churn-uptime", "5", "--churn-downtime", "1",
+             "--failure-model", "mid-activity", "--max-retries", "-1"]
+        )
+        assert code == 2
+        assert "max_retries must be >= 0" in capsys.readouterr().err
+
+    def test_unknown_failure_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--failure-model", "chaos"])
+
+    def test_failure_model_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--failure-model", "mid-activity", "--max-retries", "5"]
+        )
+        assert args.failure_model == "mid-activity"
+        assert args.max_retries == 5
+
 
 #: exact key sets of every ``--trace-out`` JSONL record type
 TRACE_SCHEMAS = {
     "meta": {
-        "type", "scheme", "rounds", "medium", "aggregation", "num_clients",
-        "total_latency_s", "events",
+        "type", "scheme", "rounds", "medium", "aggregation", "failure_model",
+        "num_clients", "total_latency_s", "events", "aborts", "retries",
     },
     "activity": {
         "type", "start_s", "end_s", "duration_s", "phase", "actor", "round",
         "nbytes", "detail",
     },
+    "activity_abort": {
+        "type", "start_s", "time_s", "phase", "actor", "round", "client",
+        "resolution",
+    },
+    "retry": {"type", "time_s", "actor", "round", "client", "attempt"},
     "round_timing": {"type", "round", "des_s", "analytic_s", "lower_bound_s"},
     "aggregation_update": {
         "type", "unit", "unit_round", "time_s", "staleness", "alpha", "weight",
@@ -210,4 +235,60 @@ class TestTraceRoundTrip:
     def test_async_fl_trace(self, tmp_path, capsys):
         rows = self._rows(tmp_path, ["--scheme", "FL", "--aggregation", "async"])
         self._check_schemas(rows)
+        assert [r for r in rows if r["type"] == "aggregation_update"]
+
+    def test_round_failure_model_trace_has_no_abort_rows(self, tmp_path, capsys):
+        rows = self._rows(
+            tmp_path,
+            ["--scheme", "GSFL", "--churn-uptime", "5", "--churn-downtime", "1",
+             "--failure-model", "round"],
+        )
+        self._check_schemas(rows)
+        assert rows[0]["failure_model"] == "round"
+        assert not [r for r in rows if r["type"] in ("activity_abort", "retry")]
+
+    @pytest.mark.parametrize("scheme", ["GSFL", "FL"])
+    def test_mid_activity_trace_aborts_and_recovery(self, tmp_path, capsys, scheme):
+        """Under mid-activity churn at the activity time scale, aborts
+        appear, and every abort resolves to exactly one retry, reroute,
+        or surrender (retries additionally get their own rows)."""
+        from repro.sim.trace import ABORT_RESOLUTIONS
+
+        rows = self._rows(
+            tmp_path,
+            ["--scheme", scheme, "--churn-uptime", "0.1",
+             "--churn-downtime", "0.03", "--failure-model", "mid-activity"],
+        )
+        self._check_schemas(rows)
+        assert rows[0]["failure_model"] == "mid-activity"
+        aborts = [r for r in rows if r["type"] == "activity_abort"]
+        retries = [r for r in rows if r["type"] == "retry"]
+        assert aborts, "mid-activity churn produced no activity_abort rows"
+        assert rows[0]["aborts"] == len(aborts)
+        assert rows[0]["retries"] == len(retries)
+        for row in aborts:
+            assert row["resolution"] in ABORT_RESOLUTIONS
+            assert row["time_s"] >= row["start_s"] >= 0
+        assert len(retries) == sum(r["resolution"] == "retry" for r in aborts)
+        # A reroute permanently removes the dead client from its track's
+        # round: no (round, client) pair resolves as reroute twice.
+        reroutes = [
+            (r["round"], r["client"]) for r in aborts
+            if r["resolution"] == "reroute"
+        ]
+        assert len(reroutes) == len(set(reroutes))
+        for row in retries:
+            assert 1 <= row["attempt"] <= 2  # default --max-retries
+
+    def test_mid_activity_async_trace(self, tmp_path, capsys):
+        """Preemption composes with barrier-free aggregation: abort rows
+        and staleness commit rows coexist in one trace."""
+        rows = self._rows(
+            tmp_path,
+            ["--scheme", "GSFL", "--aggregation", "bounded:2",
+             "--churn-uptime", "0.1", "--churn-downtime", "0.03",
+             "--failure-model", "mid-activity"],
+        )
+        self._check_schemas(rows)
+        assert [r for r in rows if r["type"] == "activity_abort"]
         assert [r for r in rows if r["type"] == "aggregation_update"]
