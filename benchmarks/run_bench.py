@@ -224,6 +224,7 @@ def runtime_report(quick: bool) -> dict:
               f"({(cont_lat / static_lat - 1.0) * 100:+.2f}%)")
     report["async"] = async_round_latency_report(quick)
     report["failures"] = failure_model_report(quick)
+    report["grouping"] = grouping_report(quick)
     return report
 
 
@@ -346,6 +347,74 @@ def failure_model_report(quick: bool) -> dict:
               f"({row['latency_overhead'] * 100:+.1f}%, {on['aborts']} aborts, "
               f"{on['retries']} retries, {on['surrenders']} surrenders)")
     return report
+
+def grouping_report(quick: bool) -> dict:
+    """Static vs churn-aware regrouping under the PR-4 churn benchmark.
+
+    GSFL runs the same mid-activity churn trace (uptime 0.15 s / downtime
+    0.05 s, the failure-report setting) once per regroup policy:
+    ``static`` keeps the contiguous construction-time partition,
+    ``availability_aware`` re-deals every round by expected remaining
+    up-time from the churn trace, ``abort_history`` by the EWMA of the
+    per-client abort/retry telemetry.  The fleet is 12 clients in 4
+    groups (3-hop relay chains) so a regroup has real routing freedom.
+    Abort/retry/surrender accounting comes from the trace recorder; the
+    churn-aware policies' value is exactly the abort+surrender count they
+    shave off the static baseline.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.dynamics import DynamicsConfig
+    from repro.experiments.runner import make_scheme
+    from repro.experiments.scenario import fast_scenario
+
+    rounds = 2 if quick else 4
+    churn = {"churn_uptime_s": 0.15, "churn_downtime_s": 0.05}
+    report: dict = {
+        "scheme": "GSFL",
+        "num_clients": 12,
+        "num_groups": 4,
+        "rounds": rounds,
+        "max_retries": 2,
+        "regroup_every": 1,
+        "grouping": "contiguous",
+        **churn,
+        "policies": {},
+    }
+    for policy in ("static", "availability_aware", "abort_history"):
+        scenario = fast_scenario(with_wireless=True, num_clients=12, num_groups=4)
+        scenario.dynamics = DynamicsConfig(
+            failure_model="mid-activity", max_retries=2, seed=0, **churn
+        )
+        scenario.scheme = replace(
+            scenario.scheme, regroup=policy, regroup_every=1
+        )
+        scheme = make_scheme("GSFL", scenario.build())
+        history = scheme.run(rounds)
+        aborts = scheme.recorder.aborts
+        surrenders = sum(a.resolution == "surrender" for a in aborts)
+        report["policies"][policy] = {
+            "total_latency_s": history.total_latency_s,
+            "final_accuracy": history.final_accuracy,
+            "aborts": len(aborts),
+            "retries": len(scheme.recorder.retries),
+            "reroutes": sum(a.resolution == "reroute" for a in aborts),
+            "surrenders": surrenders,
+            "aborts_plus_surrenders": len(aborts) + surrenders,
+            "regroups": len(scheme.recorder.regroups),
+        }
+    baseline = report["policies"]["static"]["aborts_plus_surrenders"]
+    for policy, row in report["policies"].items():
+        row["abort_surrender_reduction_vs_static"] = (
+            1.0 - row["aborts_plus_surrenders"] / baseline if baseline else 0.0
+        )
+        print(f"{'gsfl regroup ' + policy:>36}: "
+              f"{row['aborts']} aborts + {row['surrenders']} surrenders = "
+              f"{row['aborts_plus_surrenders']} "
+              f"({row['abort_surrender_reduction_vs_static'] * 100:+.1f}% vs static), "
+              f"latency {row['total_latency_s']:.3f} s")
+    return report
+
 
 # Whole-round ops need the executor subsystem; skipped gracefully when the
 # script is pointed at an older checkout for baseline comparison.

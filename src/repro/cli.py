@@ -10,6 +10,9 @@ Usage::
     python -m repro.cli run --scheme GSFL --rounds 3 --trace-out trace.jsonl
     python -m repro.cli run --scheme GSFL --churn-uptime 0.5 --churn-downtime 0.1 \\
         --failure-model mid-activity --max-retries 2
+    python -m repro.cli run --scheme GSFL --grouping compute_balanced
+    python -m repro.cli run --scheme GSFL --churn-uptime 0.15 --churn-downtime 0.05 \\
+        --failure-model mid-activity --regroup availability_aware --regroup-every 1
     python -m repro.cli cuts
     python -m repro.cli info
 
@@ -24,6 +27,8 @@ import argparse
 import json
 import sys
 
+from repro.core.grouping import GROUPING_STRATEGIES
+from repro.core.regroup import REGROUP_POLICIES
 from repro.exec import EXECUTOR_KINDS, Executor, make_executor
 from repro.experiments.dynamics import FAILURE_MODELS, DynamicsConfig
 from repro.experiments.figures import run_fig2a, run_fig2b
@@ -109,6 +114,25 @@ def build_parser() -> argparse.ArgumentParser:
     prun.add_argument("--scheme", choices=sorted(SCHEME_REGISTRY), default="GSFL")
     prun.add_argument("--rounds", type=int, default=10)
     prun.add_argument("--groups", type=int, default=None, help="GSFL group count")
+    prun.add_argument(
+        "--grouping", choices=GROUPING_STRATEGIES, default=None,
+        help="GSFL client-partition strategy: 'contiguous' (default) splits "
+        "0..N-1 into consecutive runs, 'random' shuffles per seed, "
+        "'compute_balanced' evens summed compute time per group, "
+        "'channel_aware' evens summed per-bit airtime per group",
+    )
+    prun.add_argument(
+        "--regroup", choices=REGROUP_POLICIES, default=None,
+        help="between-round re-partitioning: 'static' (default) freezes the "
+        "construction-time groups, 'availability_aware' re-deals by expected "
+        "remaining up-time from the churn trace (short-lived clients to the "
+        "relay-chain tails), 'abort_history' routes chains around clients "
+        "with a flaky abort/retry record (EWMA over the fault telemetry)",
+    )
+    prun.add_argument(
+        "--regroup-every", type=int, default=1, metavar="N",
+        help="re-partition every N rounds (with --regroup; default 1)",
+    )
     prun.add_argument("--cut-layer", type=int, default=None)
     prun.add_argument("--quantize-bits", type=int, default=None)
     prun.add_argument("--failure-rate", type=float, default=0.0)
@@ -229,11 +253,15 @@ def _export_trace(path: str, scheme: "object") -> None:
                 "medium": scheme.config.medium,
                 "aggregation": scheme.config.aggregation,
                 "failure_model": getattr(scheme, "failure_model", "none"),
+                "grouping": getattr(scheme, "grouping", None),
+                "regroup": scheme.config.regroup,
+                "regroup_every": scheme.config.regroup_every,
                 "num_clients": scheme.num_clients,
                 "total_latency_s": total_span,
                 "events": len(recorder),
                 "aborts": len(recorder.aborts),
                 "retries": len(recorder.retries),
+                "regroups": len(recorder.regroups),
             }
         )
         for row in recorder.to_rows():
@@ -241,6 +269,8 @@ def _export_trace(path: str, scheme: "object") -> None:
         for row in recorder.abort_rows():
             emit(row)
         for row in recorder.retry_rows():
+            emit(row)
+        for row in recorder.regroup_rows():
             emit(row)
         for t in scheme.round_timings:
             emit(
@@ -338,7 +368,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"scheme {args.scheme!r} does not support "
                 f"--aggregation {args.aggregation} (only 'sync')"
             )
-        if args.quantize_bits is not None or args.aggregation != "sync":
+        if (
+            args.regroup not in (None, "static")
+            and not parse_aggregation(args.aggregation).synchronous
+        ):
+            raise ValueError(
+                f"--regroup {args.regroup} requires synchronous aggregation "
+                f"(sync / bounded:0); got --aggregation {args.aggregation}"
+            )
+        if args.grouping is not None:
+            scenario.grouping = args.grouping
+        if (
+            args.quantize_bits is not None
+            or args.aggregation != "sync"
+            or args.regroup is not None
+            or args.regroup_every != 1
+        ):
             from dataclasses import replace
 
             overrides = {}
@@ -346,6 +391,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 overrides["quantize_bits"] = args.quantize_bits
             if args.aggregation != "sync":
                 overrides["aggregation"] = args.aggregation
+            if args.regroup is not None:
+                overrides["regroup"] = args.regroup
+            if args.regroup is not None or args.regroup_every != 1:
+                overrides["regroup_every"] = args.regroup_every
             scenario.scheme = replace(scenario.scheme, **overrides)
         scenario.dynamics = _dynamics_config(args)
     except ValueError as exc:

@@ -9,12 +9,22 @@ from repro.core.aggregation import fedavg, uniform_average, weighted_delta
 from repro.core.cut_layer import CutAnalysis, analyze_cuts, best_cut, estimate_round_latency
 from repro.core.gsfl import GroupSplitFederatedLearning
 from repro.core.grouping import (
+    GROUPING_STRATEGIES,
     channel_aware_groups,
     compute_balanced_groups,
     contiguous_groups,
     make_groups,
     random_groups,
     validate_groups,
+)
+from repro.core.regroup import (
+    REGROUP_POLICIES,
+    AbortHistoryRegroup,
+    AvailabilityAwareRegroup,
+    RegroupContext,
+    RegroupPolicy,
+    StaticRegroup,
+    make_regroup_policy,
 )
 from repro.core.resource import (
     GroupWorkload,
@@ -27,12 +37,20 @@ __all__ = [
     "fedavg",
     "uniform_average",
     "weighted_delta",
+    "GROUPING_STRATEGIES",
     "contiguous_groups",
     "random_groups",
     "compute_balanced_groups",
     "channel_aware_groups",
     "make_groups",
     "validate_groups",
+    "REGROUP_POLICIES",
+    "RegroupContext",
+    "RegroupPolicy",
+    "StaticRegroup",
+    "AvailabilityAwareRegroup",
+    "AbortHistoryRegroup",
+    "make_regroup_policy",
     "CutAnalysis",
     "analyze_cuts",
     "best_cut",

@@ -24,6 +24,7 @@ import numpy as np
 from repro.utils.rng import new_rng
 
 __all__ = [
+    "GROUPING_STRATEGIES",
     "contiguous_groups",
     "random_groups",
     "compute_balanced_groups",
@@ -31,6 +32,17 @@ __all__ = [
     "make_groups",
     "validate_groups",
 ]
+
+#: supported grouping strategies (the :func:`make_groups` dispatch names)
+GROUPING_STRATEGIES = ("contiguous", "random", "compute_balanced", "channel_aware")
+
+#: optional :func:`make_groups` arguments each strategy actually consumes
+_STRATEGY_ARGS = {
+    "contiguous": (),
+    "random": ("seed",),
+    "compute_balanced": ("client_flops",),
+    "channel_aware": ("per_bit_airtime",),
+}
 
 
 def _check(num_clients: int, num_groups: int) -> None:
@@ -112,7 +124,35 @@ def make_groups(
     client_flops: np.ndarray | None = None,
     per_bit_airtime: np.ndarray | None = None,
 ) -> list[list[int]]:
-    """Strategy dispatch by name (see module docstring for the options)."""
+    """Strategy dispatch by name (see module docstring for the options).
+
+    Arguments a strategy does not consume must not be passed: a ``seed``
+    given to a deterministic strategy, or cost vectors given to a
+    strategy that ignores them, would be silently dropped — almost
+    certainly a caller bug (expecting a seeded shuffle or a cost-balanced
+    split that never happens) — so mismatched combinations raise.
+    """
+    if strategy not in _STRATEGY_ARGS:
+        raise ValueError(
+            f"unknown grouping strategy {strategy!r}; expected contiguous / random / "
+            "compute_balanced / channel_aware"
+        )
+    given = {
+        "seed": seed,
+        "client_flops": client_flops,
+        "per_bit_airtime": per_bit_airtime,
+    }
+    extraneous = [
+        name
+        for name, value in given.items()
+        if value is not None and name not in _STRATEGY_ARGS[strategy]
+    ]
+    if extraneous:
+        raise ValueError(
+            f"{strategy!r} grouping does not use {', '.join(extraneous)}; "
+            f"refusing to silently ignore arguments — pass only what the "
+            f"strategy consumes ({list(_STRATEGY_ARGS[strategy]) or 'nothing'})"
+        )
     if strategy == "contiguous":
         return contiguous_groups(num_clients, num_groups)
     if strategy == "random":
@@ -121,14 +161,9 @@ def make_groups(
         if client_flops is None:
             raise ValueError("compute_balanced grouping requires client_flops")
         return compute_balanced_groups(client_flops, num_groups)
-    if strategy == "channel_aware":
-        if per_bit_airtime is None:
-            raise ValueError("channel_aware grouping requires per_bit_airtime")
-        return channel_aware_groups(per_bit_airtime, num_groups)
-    raise ValueError(
-        f"unknown grouping strategy {strategy!r}; expected contiguous / random / "
-        "compute_balanced / channel_aware"
-    )
+    if per_bit_airtime is None:
+        raise ValueError("channel_aware grouping requires per_bit_airtime")
+    return channel_aware_groups(per_bit_airtime, num_groups)
 
 
 def validate_groups(groups: list[list[int]], num_clients: int) -> None:

@@ -39,6 +39,7 @@ import numpy as np
 from repro import nn
 from repro.core.aggregation import fedavg
 from repro.core.grouping import make_groups, validate_groups
+from repro.core.regroup import RegroupContext, make_regroup_policy
 from repro.nn.split import split_model
 from repro.schemes.base import Activity, Scheme, Stage
 from repro.schemes.pricing import LatencyModel
@@ -67,7 +68,11 @@ class GroupSplitFederatedLearning(AsyncSplitStateMixin, Scheme):
         Split point (client-side layer count).
     grouping / groups:
         Either a strategy name for :func:`repro.core.grouping.make_groups`
-        or an explicit partition.
+        or an explicit partition.  Only the *initial* partition: with a
+        non-static ``config.regroup`` policy, ``self.groups`` is
+        per-round state — :meth:`_maybe_regroup` re-partitions the fleet
+        between rounds from the run's own dynamics evidence (see
+        :mod:`repro.core.regroup`).
     bandwidth_shares:
         Optional per-group bandwidth shares in Hz (e.g. from
         :func:`repro.core.resource.minmax_bandwidth_split`); defaults to
@@ -121,19 +126,35 @@ class GroupSplitFederatedLearning(AsyncSplitStateMixin, Scheme):
 
         if groups is not None:
             self.groups = [list(g) for g in groups]
+            self.grouping = "explicit"
         else:
-            client_flops = (
-                self.system.fleet.client_flops_array() if self.system else None
-            )
             self.groups = make_groups(
                 grouping,
                 self.num_clients,
                 num_groups,
-                seed=self.config.seed,
-                client_flops=client_flops,
+                **self._grouping_args(grouping, num_groups),
             )
+            self.grouping = grouping
         validate_groups(self.groups, self.num_clients)
         self.num_groups = len(self.groups)
+
+        # Between-round regrouping: ``static`` maps to no policy at all, so
+        # the default path never touches the constructor-frozen partition
+        # (golden-pinned bitwise).  Regrouping re-partitions the fleet at
+        # global round boundaries, which only exist under the sync barrier;
+        # free-running async pipelines have no instant at which swapping
+        # memberships between units is well-defined.
+        self._regroup_policy = make_regroup_policy(self.config.regroup)
+        if self._regroup_policy is not None and not self.aggregation_policy.synchronous:
+            raise ValueError(
+                f"regroup={self.config.regroup!r} requires synchronous "
+                f"aggregation (sync / bounded:0), got "
+                f"aggregation={self.config.aggregation!r}"
+            )
+        #: recorder-log cursors: abort/retry telemetry consumed incrementally
+        #: so each regroup sees only the evidence since the previous one
+        self._aborts_seen = 0
+        self._retries_seen = 0
 
         if bandwidth_shares is not None:
             if len(bandwidth_shares) != self.num_groups:
@@ -151,10 +172,97 @@ class GroupSplitFederatedLearning(AsyncSplitStateMixin, Scheme):
         self._global_client_state = self.split.client.state_dict()
         self._global_server_state = self.split.server.state_dict()
 
+    def _grouping_args(self, grouping: str, num_groups: int) -> dict:
+        """Arguments the chosen strategy consumes (and nothing else).
+
+        :func:`~repro.core.grouping.make_groups` rejects extraneous
+        arguments, so each strategy gets exactly its own inputs; the
+        cost-driven strategies need the wireless system to price clients.
+        """
+        if grouping == "random":
+            return {"seed": self.config.seed}
+        if grouping == "compute_balanced":
+            if self.system is None:
+                raise ValueError(
+                    "compute_balanced grouping requires a wireless system "
+                    "(per-client FLOPS are unknown without one)"
+                )
+            return {"client_flops": self.system.fleet.client_flops_array()}
+        if grouping == "channel_aware":
+            if self.system is None:
+                raise ValueError(
+                    "channel_aware grouping requires a wireless system "
+                    "(per-client link rates are unknown without one)"
+                )
+            # Airtime priced at the nominal per-group share: the bandwidth
+            # a chain's active transmitter actually holds under GSFL.
+            bandwidth = self._pricing.total_bandwidth_hz / num_groups
+            airtime = np.array(
+                [
+                    1.0 / self.system.channel.mean_uplink_rate_bps(c, bandwidth)
+                    for c in range(self.num_clients)
+                ]
+            )
+            return {"per_bit_airtime": airtime}
+        return {}
+
+    # ------------------------------------------------------------------
+    # between-round regrouping (sense -> act over the failure telemetry)
+    # ------------------------------------------------------------------
+    def _consume_abort_counts(self) -> dict[int, int]:
+        """Per-client abort/retry rows logged since the previous regroup."""
+        counts: dict[int, int] = {}
+        for event in self.recorder.aborts[self._aborts_seen:]:
+            counts[event.client] = counts.get(event.client, 0) + 1
+        for event in self.recorder.retries[self._retries_seen:]:
+            counts[event.client] = counts.get(event.client, 0) + 1
+        self._aborts_seen = len(self.recorder.aborts)
+        self._retries_seen = len(self.recorder.retries)
+        return counts
+
+    def _maybe_regroup(self, round_index: int) -> None:
+        """Re-partition the fleet at a regroup boundary (no-op for static).
+
+        Runs before the round's pipelines are built, so the new chains see
+        this round's churn/participation resolution.  Round 0 always keeps
+        the construction-time partition (there is no evidence yet and the
+        first partition *is* the configured grouping strategy).
+        """
+        policy = self._regroup_policy
+        if (
+            policy is None
+            or round_index == 0
+            or round_index % self.config.regroup_every != 0
+        ):
+            return
+        context = RegroupContext(
+            round_index=round_index,
+            now_s=self.runtime.now,
+            dynamics=self.dynamics,
+            abort_counts=self._consume_abort_counts(),
+        )
+        new_groups = policy.regroup([list(g) for g in self.groups], context)
+        validate_groups(new_groups, self.num_clients)
+        if len(new_groups) != self.num_groups:
+            raise ValueError(
+                f"regroup policy {policy.name!r} returned {len(new_groups)} "
+                f"groups for {self.num_groups} (bandwidth shares are per-group)"
+            )
+        changed = new_groups != self.groups
+        self.groups = [list(g) for g in new_groups]
+        self.recorder.record_regroup(
+            time_s=self.runtime.now,
+            round_index=round_index,
+            policy=policy.name,
+            groups=self.groups,
+            changed=changed,
+        )
+
     # ------------------------------------------------------------------
     # round
     # ------------------------------------------------------------------
     def _run_round(self, round_index: int) -> list[Stage]:
+        self._maybe_regroup(round_index)
         pricing = self._pricing
         client_model_bytes = pricing.client_model_nbytes(self.cut_layer)
         participants = set(self._round_participants())

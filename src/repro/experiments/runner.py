@@ -42,6 +42,7 @@ def make_scheme(name: str, built: BuiltScenario, **overrides: object) -> Scheme:
         kwargs["cut_layer"] = built.scenario.resolved_cut_layer()
     if name == "GSFL":
         kwargs["num_groups"] = built.scenario.num_groups
+        kwargs["grouping"] = built.scenario.grouping
     kwargs.update(overrides)
     return cls(**kwargs)
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 
 from repro import nn
 from repro.data.dataset import Dataset, Subset
+from repro.core.grouping import GROUPING_STRATEGIES
 from repro.data.gtsrb import GtsrbConfig, SyntheticGTSRB
 from repro.data.partition import (
     make_client_datasets,
@@ -40,6 +41,7 @@ class ExperimentScenario:
 
     num_clients: int = 30
     num_groups: int = 6
+    grouping: str = "contiguous"  # GSFL partition strategy (make_groups)
     model_name: str = "deepthin"
     model_kwargs: dict = field(default_factory=dict)
     cut_layer: int | None = None  # None -> architecture default
@@ -54,6 +56,7 @@ class ExperimentScenario:
     def __post_init__(self) -> None:
         check_positive("num_clients", self.num_clients)
         check_positive("num_groups", self.num_groups)
+        check_in_choices("grouping", self.grouping, GROUPING_STRATEGIES)
         check_in_choices("partition", self.partition, ("iid", "dirichlet"))
         if self.num_groups > self.num_clients:
             raise ValueError(

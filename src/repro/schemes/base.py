@@ -206,6 +206,15 @@ class SchemeConfig:
     staleness decay, ``"bounded:K"`` barrier-free with an SSP-style
     max-lag gate (``bounded:0`` *is* the sync barrier) — see
     :mod:`repro.sim.server`.
+
+    ``regroup`` / ``regroup_every`` select how group-structured schemes
+    (GSFL) re-partition the fleet between rounds: ``"static"`` keeps the
+    construction-time partition forever (today's behaviour, golden-pinned
+    bitwise), ``"availability_aware"`` re-deals by expected remaining
+    up-time from the churn trace, ``"abort_history"`` by an EWMA of the
+    fault telemetry — see :mod:`repro.core.regroup`.  ``regroup_every``
+    is the round period of the re-partition (evaluated from round 1 on).
+    Schemes without group structure ignore both knobs.
     """
 
     batch_size: int = 16
@@ -218,14 +227,22 @@ class SchemeConfig:
     quantize_bits: int | None = None
     medium: str = "static"
     aggregation: str = "sync"
+    regroup: str = "static"
+    regroup_every: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
+        # Function-level import: repro.core.gsfl imports this module, so a
+        # top-level import of repro.core.* here would cycle at package init.
+        from repro.core.regroup import REGROUP_POLICIES
+
         check_positive("batch_size", self.batch_size)
         check_positive("local_steps", self.local_steps)
         check_positive("lr", self.lr)
         check_positive("eval_every", self.eval_every)
         check_in_choices("medium", self.medium, MEDIUM_POLICIES)
+        check_in_choices("regroup", self.regroup, REGROUP_POLICIES)
+        check_positive("regroup_every", self.regroup_every)
         parse_aggregation(self.aggregation)  # raises on malformed specs
         if self.quantize_bits is not None and not 1 <= self.quantize_bits <= 16:
             raise ValueError(

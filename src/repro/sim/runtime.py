@@ -197,6 +197,22 @@ def demand_clients(demand: Demand) -> frozenset[int]:
     return frozenset()
 
 
+@dataclass
+class _TransferProgress:
+    """Partial-transfer state carried across retries of one activity.
+
+    :meth:`FairShareLink.abort` settles the service an aborted flow had
+    already received; this object keeps that settlement visible to the
+    retry path, so a re-attempted :class:`TransmitDemand` resumes — legs
+    already completed are skipped and the aborted leg transmits only its
+    remainder (``bits_total - bits_delivered``) instead of restarting
+    from zero bytes.
+    """
+
+    legs_done: int = 0
+    bits_delivered: float = 0.0
+
+
 class Preemption(Exception):
     """An in-flight activity was cut short by a client failure.
 
@@ -352,6 +368,11 @@ class Runtime:
         attempts = 0
         skipped: set[int] = set()
         index = 0
+        # Partial-transfer resume state: fresh per activity, retained
+        # across retry re-attempts of the *same* activity (same index) so
+        # a resumed upload transmits only its undelivered remainder.
+        progress = _TransferProgress()
+        progress_index = 0
         while index < len(activities):
             act = activities[index]
             if skipped and demand_clients(act.demand) & skipped:
@@ -361,9 +382,12 @@ class Runtime:
                 # fallback replaces it at zero cost.
                 index += 1
                 continue
+            if index != progress_index:
+                progress = _TransferProgress()
+                progress_index = index
             begin = env.now
             try:
-                yield from self._perform(act.demand, compute_slowdown)
+                yield from self._perform(act.demand, compute_slowdown, progress)
             except Preemption as failure:
                 outcome.aborts += 1
                 resolution, jump = self._resolve_abort(
@@ -393,7 +417,10 @@ class Runtime:
                             client=failure.client,
                             attempt=attempts,
                         )
-                    continue  # re-attempt the same activity from scratch
+                    # Re-attempt the same activity; ``progress`` carries the
+                    # settled partial transfer, so a resumed leg transmits
+                    # only its remainder (compute restarts from scratch).
+                    continue
                 if resolution == "reroute":
                     skipped.add(failure.client)
                     outcome.rerouted.append(failure.client)
@@ -469,12 +496,23 @@ class Runtime:
     # ------------------------------------------------------------------
     # demand resolution
     # ------------------------------------------------------------------
-    def _perform(self, demand: Demand, slowdown: dict[int, float] | None):
+    def _perform(
+        self,
+        demand: Demand,
+        slowdown: dict[int, float] | None,
+        progress: "_TransferProgress | None" = None,
+    ):
         injector = self.failure_injector
         if isinstance(demand, TransmitDemand) and self.medium is not None:
-            for leg in demand.legs:
+            # Resume semantics: legs a previous preempted attempt already
+            # completed are skipped (``progress`` only ever advances under
+            # an armed injector, so the unset-injector path is untouched).
+            start_leg = progress.legs_done if progress is not None else 0
+            for leg in demand.legs[start_leg:]:
                 if injector is not None:
-                    yield from self._transfer_preemptible(leg, demand, injector)
+                    yield from self._transfer_preemptible(
+                        leg, demand, injector, progress
+                    )
                 else:
                     yield self.medium.transfer(
                         leg.nbits,
@@ -512,7 +550,11 @@ class Runtime:
         yield self.env.timeout(demand_nominal_s(demand))
 
     def _transfer_preemptible(
-        self, leg: TransmitLeg, demand: TransmitDemand, injector: "FailureInjector"
+        self,
+        leg: TransmitLeg,
+        demand: TransmitDemand,
+        injector: "FailureInjector",
+        progress: "_TransferProgress | None" = None,
     ):
         """One leg on the shared medium, raced against its client's churn.
 
@@ -523,21 +565,35 @@ class Runtime:
         the surviving transmitter set at that exact instant — and raises
         :class:`Preemption`.  Ties go to completion: the flow's scheduled
         completion entered the event queue first.
+
+        ``progress`` carries partial-transfer state across retries: the
+        leg submits only ``nbits - bits_delivered`` to the medium, and an
+        abort folds the service the flow received (settled by
+        :meth:`FairShareLink.abort`) back into ``progress`` so the next
+        attempt resumes where this one was cut.
         """
         env = self.env
+        delivered = progress.bits_delivered if progress is not None else 0.0
+        remaining = leg.nbits - delivered
         deadline = injector.up_deadline(leg.client, env.now)
         if deadline is not None and deadline <= env.now:
             raise Preemption(leg.client, env.now)  # down before the leg starts
-        done = self.medium.transfer(
-            leg.nbits,
-            client=leg.client,
-            rate_fn=leg.rate_fn,
-            nominal=demand.nominal_hz,
-        )
-        if deadline is None:
-            yield done
-            return
-        yield env.any_of([done, env.timeout(deadline - env.now)])
-        if not done.triggered:
-            self.medium.abort(done)
-            raise Preemption(leg.client, env.now)
+        if remaining > 0.0:
+            done = self.medium.transfer(
+                remaining,
+                client=leg.client,
+                rate_fn=leg.rate_fn,
+                nominal=demand.nominal_hz,
+            )
+            if deadline is None:
+                yield done
+            else:
+                yield env.any_of([done, env.timeout(deadline - env.now)])
+                if not done.triggered:
+                    undelivered = self.medium.abort(done)
+                    if progress is not None and undelivered is not None:
+                        progress.bits_delivered = leg.nbits - undelivered
+                    raise Preemption(leg.client, env.now)
+        if progress is not None:
+            progress.legs_done += 1
+            progress.bits_delivered = 0.0

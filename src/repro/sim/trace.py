@@ -21,6 +21,7 @@ __all__ = [
     "TraceEvent",
     "AbortEvent",
     "RetryEvent",
+    "RegroupEvent",
     "TraceRecorder",
     "PHASES",
     "ABORT_RESOLUTIONS",
@@ -99,6 +100,19 @@ class RetryEvent:
     attempt: int
 
 
+@dataclass(frozen=True)
+class RegroupEvent:
+    """One between-round fleet re-partition: ``policy`` produced ``groups``
+    at the start of ``round_index`` (``changed`` is ``False`` when the
+    policy saw no signal and returned the partition untouched)."""
+
+    time_s: float
+    round_index: int
+    policy: str
+    groups: tuple[tuple[int, ...], ...]
+    changed: bool
+
+
 class TraceRecorder:
     """Accumulates :class:`TraceEvent` rows with cheap aggregation helpers."""
 
@@ -106,6 +120,7 @@ class TraceRecorder:
         self.events: list[TraceEvent] = []
         self.aborts: list[AbortEvent] = []
         self.retries: list[RetryEvent] = []
+        self.regroups: list[RegroupEvent] = []
 
     def record(
         self,
@@ -152,6 +167,25 @@ class TraceRecorder:
         """Append one recovery re-attempt."""
         event = RetryEvent(time_s, actor, round_index, client, attempt)
         self.retries.append(event)
+        return event
+
+    def record_regroup(
+        self,
+        time_s: float,
+        round_index: int,
+        policy: str,
+        groups: "list[list[int]]",
+        changed: bool,
+    ) -> RegroupEvent:
+        """Append one between-round re-partition (the ``regroup`` JSONL row)."""
+        event = RegroupEvent(
+            time_s,
+            round_index,
+            policy,
+            tuple(tuple(g) for g in groups),
+            changed,
+        )
+        self.regroups.append(event)
         return event
 
     def __len__(self) -> int:
@@ -242,6 +276,20 @@ class TraceRecorder:
                 "attempt": e.attempt,
             }
             for e in self.retries
+        ]
+
+    def regroup_rows(self) -> list[dict]:
+        """Re-partitions as plain dicts (the ``regroup`` JSONL rows)."""
+        return [
+            {
+                "type": "regroup",
+                "time_s": e.time_s,
+                "round": e.round_index,
+                "policy": e.policy,
+                "groups": [list(g) for g in e.groups],
+                "changed": e.changed,
+            }
+            for e in self.regroups
         ]
 
     def filter(

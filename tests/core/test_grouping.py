@@ -96,6 +96,22 @@ class TestDispatchAndValidation:
         with pytest.raises(ValueError, match="airtime"):
             make_groups("channel_aware", 6, 2)
 
+    def test_extraneous_arguments_rejected(self):
+        """Arguments a strategy ignores must raise, not vanish silently."""
+        with pytest.raises(ValueError, match="does not use seed"):
+            make_groups("contiguous", 6, 2, seed=7)
+        with pytest.raises(ValueError, match="does not use client_flops"):
+            make_groups("random", 6, 2, seed=0, client_flops=np.ones(6))
+        with pytest.raises(ValueError, match="does not use seed"):
+            make_groups("compute_balanced", 6, 2, seed=1, client_flops=np.ones(6))
+        with pytest.raises(ValueError, match="does not use per_bit_airtime"):
+            make_groups("contiguous", 6, 2, per_bit_airtime=np.ones(6))
+        with pytest.raises(ValueError, match="does not use client_flops"):
+            make_groups(
+                "channel_aware", 6, 2,
+                client_flops=np.ones(6), per_bit_airtime=np.ones(6),
+            )
+
     def test_unknown_strategy(self):
         with pytest.raises(ValueError, match="unknown"):
             make_groups("astrology", 6, 2)
@@ -119,7 +135,8 @@ class TestDispatchAndValidation:
     def test_partition_property(self, n, m, strategy):
         if m > n:
             return
-        groups = make_groups(strategy, n, m, seed=n * m)
+        kwargs = {"seed": n * m} if strategy == "random" else {}
+        groups = make_groups(strategy, n, m, **kwargs)
         validate_groups(groups, n)
         sizes = [len(g) for g in groups]
         assert max(sizes) - min(sizes) <= 1

@@ -49,6 +49,16 @@ class TestScenario:
             ExperimentScenario(num_clients=4, num_groups=8)
         with pytest.raises(ValueError):
             ExperimentScenario(partition="sorted")
+        with pytest.raises(ValueError):
+            ExperimentScenario(grouping="astrology")
+
+    def test_grouping_threads_to_gsfl(self):
+        from repro.experiments.runner import make_scheme
+
+        sc = fast_scenario()
+        sc.grouping = "random"
+        scheme = make_scheme("GSFL", sc.build())
+        assert scheme.grouping == "random"
 
     def test_dirichlet_partition_mode(self):
         sc = fast_scenario(with_wireless=False)

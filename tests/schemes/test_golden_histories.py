@@ -136,3 +136,39 @@ class TestFailureModelParity:
         assert scheme.runtime.failure_injector is None
         history = scheme.run(GOLDEN_ROUNDS)
         assert_matches_golden(history, "GSFL")
+
+
+class TestRegroupParity:
+    """``regroup="static"`` provably costs nothing.
+
+    The static policy maps to *no* regroup hook at all, so runs with it
+    (at any cadence) are bitwise identical to the constructor-frozen
+    grouping — the golden fixtures — and leave no regroup telemetry.
+    """
+
+    @pytest.mark.parametrize("every", [1, 3])
+    def test_static_regroup_matches_golden_bitwise(self, every):
+        from dataclasses import replace
+
+        scenario = golden_scenario()
+        scenario.scheme = replace(
+            scenario.scheme, regroup="static", regroup_every=every
+        )
+        scheme = make_scheme("GSFL", scenario.build())
+        assert scheme._regroup_policy is None
+        history = scheme.run(GOLDEN_ROUNDS)
+        assert_matches_golden(history, "GSFL")
+        assert scheme.recorder.regroups == []
+
+    def test_availability_aware_without_churn_matches_golden_bitwise(self):
+        """No dynamics layer → no churn signal: the availability policy
+        keeps the partition untouched and the run replays the golden
+        history exactly (regroup rows record the unchanged partitions)."""
+        from dataclasses import replace
+
+        scenario = golden_scenario()
+        scenario.scheme = replace(scenario.scheme, regroup="availability_aware")
+        scheme = make_scheme("GSFL", scenario.build())
+        history = scheme.run(GOLDEN_ROUNDS)
+        assert_matches_golden(history, "GSFL")
+        assert all(not e.changed for e in scheme.recorder.regroups)

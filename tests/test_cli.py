@@ -160,12 +160,53 @@ class TestCommands:
         assert args.failure_model == "mid-activity"
         assert args.max_retries == 5
 
+    def test_grouping_and_regroup_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--grouping", "channel_aware",
+             "--regroup", "abort_history", "--regroup-every", "3"]
+        )
+        assert args.grouping == "channel_aware"
+        assert args.regroup == "abort_history"
+        assert args.regroup_every == 3
+
+    @pytest.mark.parametrize(
+        "flag,value", [("--grouping", "astrology"), ("--regroup", "vibes")]
+    )
+    def test_unknown_grouping_and_regroup_exit_2(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", flag, value])
+        assert excinfo.value.code == 2
+
+    def test_run_with_grouping_strategy(self, capsys):
+        code = main(
+            ["run", "--scale", "fast", "--scheme", "GSFL", "--rounds", "1",
+             "--grouping", "compute_balanced"]
+        )
+        assert code == 0
+
+    def test_regroup_every_zero_is_a_clean_config_error(self, capsys):
+        code = main(
+            ["run", "--scale", "fast", "--scheme", "GSFL", "--rounds", "1",
+             "--regroup", "availability_aware", "--regroup-every", "0"]
+        )
+        assert code == 2
+        assert "regroup_every must be > 0" in capsys.readouterr().err
+
+    def test_regroup_with_async_aggregation_is_a_clean_config_error(self, capsys):
+        code = main(
+            ["run", "--scale", "fast", "--scheme", "GSFL", "--rounds", "1",
+             "--regroup", "abort_history", "--aggregation", "async"]
+        )
+        assert code == 2
+        assert "synchronous aggregation" in capsys.readouterr().err
+
 
 #: exact key sets of every ``--trace-out`` JSONL record type
 TRACE_SCHEMAS = {
     "meta": {
         "type", "scheme", "rounds", "medium", "aggregation", "failure_model",
-        "num_clients", "total_latency_s", "events", "aborts", "retries",
+        "grouping", "regroup", "regroup_every", "num_clients",
+        "total_latency_s", "events", "aborts", "retries", "regroups",
     },
     "activity": {
         "type", "start_s", "end_s", "duration_s", "phase", "actor", "round",
@@ -176,6 +217,7 @@ TRACE_SCHEMAS = {
         "resolution",
     },
     "retry": {"type", "time_s", "actor", "round", "client", "attempt"},
+    "regroup": {"type", "time_s", "round", "policy", "groups", "changed"},
     "round_timing": {"type", "round", "des_s", "analytic_s", "lower_bound_s"},
     "aggregation_update": {
         "type", "unit", "unit_round", "time_s", "staleness", "alpha", "weight",
@@ -279,6 +321,34 @@ class TestTraceRoundTrip:
         assert len(reroutes) == len(set(reroutes))
         for row in retries:
             assert 1 <= row["attempt"] <= 2  # default --max-retries
+
+    def test_regroup_trace_rows_and_meta(self, tmp_path, capsys):
+        """``--regroup`` under churn exports regroup rows whose partitions
+        are exact, plus the regroup meta fields."""
+        rows = self._rows(
+            tmp_path,
+            ["--scheme", "GSFL", "--churn-uptime", "0.1",
+             "--churn-downtime", "0.03", "--failure-model", "mid-activity",
+             "--regroup", "availability_aware"],
+        )
+        self._check_schemas(rows)
+        meta = rows[0]
+        assert meta["grouping"] == "contiguous"
+        assert meta["regroup"] == "availability_aware"
+        assert meta["regroup_every"] == 1
+        regroups = [r for r in rows if r["type"] == "regroup"]
+        assert meta["regroups"] == len(regroups) == 1  # rounds=2 -> round 1
+        for row in regroups:
+            flat = sorted(c for g in row["groups"] for c in g)
+            assert flat == list(range(meta["num_clients"]))
+            assert row["policy"] == "availability_aware"
+            assert row["round"] == 1
+
+    def test_static_regroup_exports_no_regroup_rows(self, tmp_path, capsys):
+        rows = self._rows(tmp_path, ["--scheme", "GSFL"])
+        assert rows[0]["regroup"] == "static"
+        assert rows[0]["regroups"] == 0
+        assert not [r for r in rows if r["type"] == "regroup"]
 
     def test_mid_activity_async_trace(self, tmp_path, capsys):
         """Preemption composes with barrier-free aggregation: abort rows
