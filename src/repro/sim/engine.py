@@ -60,12 +60,29 @@ class Process(Event):
 
 
 class Environment:
-    """Simulation environment: clock + event queue + process spawner."""
+    """Simulation environment: clock + event queue + process spawner.
+
+    Scheduled events support **lazy cancellation**: :meth:`cancel` marks
+    the event dead without an O(n) heap removal; dead entries are skipped
+    (and discarded) when they surface at the head of the queue, and the
+    heap is compacted wholesale once dead entries outnumber live ones, so
+    long churny runs do not accumulate stale completions unboundedly.
+    :attr:`pending` counts live entries only.
+    """
+
+    #: dead entries may outnumber live ones by this factor (and the queue
+    #: must exceed the floor) before a full compaction pass runs
+    _COMPACT_FLOOR = 64
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Event, Any]] = []
         self._counter = itertools.count()
+        self._live = 0
+        #: total events fired by :meth:`step` (scale-bench throughput)
+        self.events_fired: int = 0
+        #: high-water mark of live scheduled entries
+        self.peak_pending: int = 0
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -74,6 +91,34 @@ class Environment:
         if at < self.now:
             raise RuntimeError(f"cannot schedule in the past ({at} < {self.now})")
         heapq.heappush(self._queue, (at, next(self._counter), event, value))
+        self._live += 1
+        if self._live > self.peak_pending:
+            self.peak_pending = self._live
+
+    def cancel(self, event: Event) -> None:
+        """Lazily cancel a scheduled, not-yet-fired event.
+
+        The event will never fire; its queue entry is skipped when it
+        reaches the head (or dropped by compaction before that).
+        Cancelling an already-triggered or already-cancelled event is a
+        no-op, so callers need not track whether a completion raced them.
+        """
+        if event.triggered or event.cancelled:
+            return
+        event.cancelled = True
+        self._live -= 1
+        if (
+            len(self._queue) > self._COMPACT_FLOOR
+            and self._live * 2 < len(self._queue)
+        ):
+            self._queue = [e for e in self._queue if not e[2].cancelled]
+            heapq.heapify(self._queue)
+
+    def _skim(self) -> None:
+        """Drop cancelled entries from the head of the queue."""
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
 
     def event(self) -> Event:
         """Create an untriggered event bound to this environment."""
@@ -99,10 +144,15 @@ class Environment:
     # main loop
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Pop and fire the next scheduled event."""
-        at, _, event, value = heapq.heappop(self._queue)
+        """Pop and fire the next live scheduled event."""
+        while True:
+            at, _, event, value = heapq.heappop(self._queue)
+            if not event.cancelled:
+                break
         self.now = at
+        self._live -= 1
         if not event.triggered:
+            self.events_fired += 1
             event.succeed(value)
 
     def run(self, until: float | Event | None = None) -> None:
@@ -114,6 +164,7 @@ class Environment:
         """
         if isinstance(until, Event):
             while not until.triggered:
+                self._skim()
                 if not self._queue:
                     raise RuntimeError(
                         "event queue drained before the awaited event triggered "
@@ -121,7 +172,10 @@ class Environment:
                     )
                 self.step()
             return
-        while self._queue:
+        while True:
+            self._skim()
+            if not self._queue:
+                break
             if until is not None and self._queue[0][0] > until:
                 self.now = until
                 return
@@ -131,5 +185,5 @@ class Environment:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (not yet fired) queue entries."""
-        return len(self._queue)
+        """Number of live scheduled (not yet fired, not cancelled) entries."""
+        return self._live

@@ -20,11 +20,19 @@ __all__ = ["Event", "Timeout", "AllOf", "AnyOf"]
 
 
 class Event:
-    """A one-shot occurrence in simulated time."""
+    """A one-shot occurrence in simulated time.
+
+    A scheduled event may be *cancelled* via
+    :meth:`~repro.sim.engine.Environment.cancel`: its queue entry is
+    skipped (never fired) and no longer counted as pending.  This is how
+    the shared-link model retires a stale completion when a flow's rate
+    changes, instead of leaving dead entries to accumulate in the heap.
+    """
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.triggered = False
+        self.cancelled = False
         self.value: Any = None
         self._callbacks: list[Callable[["Event"], None]] = []
 
@@ -32,6 +40,8 @@ class Event:
         """Fire the event immediately, passing ``value`` to waiters."""
         if self.triggered:
             raise RuntimeError("event already triggered")
+        if self.cancelled:
+            raise RuntimeError("event was cancelled")
         self.triggered = True
         self.value = value
         for callback in self._callbacks:

@@ -29,12 +29,47 @@ Policies:
 Contention-aware policies driven by the wireless allocators live in
 :func:`repro.wireless.bandwidth.as_share_policy` (structural typing; the
 kernel only calls ``policy.allocate``).
+
+Fleet-scale kernels
+-------------------
+
+The link picks one of three internal engines from the policy's
+:attr:`~SharePolicy.incremental_kind` (``incremental=False`` pins the
+dense reference used by the equivalence suite):
+
+``"uniform"`` (:class:`EqualShare`, flows without ``rate_fn``)
+    Classic processor-sharing virtual time: one cumulative per-flow
+    service counter, a min-heap of flows keyed by the service credit at
+    which each completes, and a *single* scheduled completion — the
+    link's earliest — re-armed per membership change.  O(log n) per
+    event instead of O(n), and O(1) heap churn instead of one push per
+    flow per reallocation.  Completion *order* matches the dense engine
+    exactly; times agree to float round-off (the dense engine charges
+    service by chained per-epoch subtraction, this one by a running sum).
+
+``"static"`` (:class:`NominalShare` while under capacity)
+    Allocations are membership-independent, so an arrival prices and
+    schedules only itself (same float expressions as the dense engine —
+    completion times stay **bitwise** identical, the golden-history
+    guarantee) and a departure touches nothing.  The first
+    oversubscribing arrival demotes the link to the dense engine
+    (settling every flow lazily first); the link re-arms the fast mode
+    whenever it drains idle.
+
+``"dense"`` (everything else, e.g. allocator-backed contended policies)
+    The original algorithm: settle every flow, re-run
+    :meth:`SharePolicy.allocate` over the active set, reschedule flows
+    whose rate changed — now with O(1) flow removal (flows are indexed
+    by their ``done`` event) and lazy cancellation of superseded
+    completions, so the event queue no longer accumulates stale entries.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Callable, Sequence
 
 from repro.sim.engine import Environment
@@ -110,22 +145,51 @@ class _Flow:
     nominal: "float | None" = None
     bps: float = 0.0
     completion: Event | None = field(default=None)
+    #: uniform engine: cumulative-service credit at which this flow completes
+    key: float = 0.0
+    #: False once finished or aborted (lazy deletion from the service heap)
+    alive: bool = True
 
 
 class SharePolicy:
     """Divides a link's capacity among the flows currently in flight."""
 
     name = "base"
+    #: which link engine the policy admits: ``"uniform"`` (every active
+    #: flow gets ``capacity / n`` — the link may run processor-sharing
+    #: virtual time), ``"static"`` (allocations fixed at admission while
+    #: feasible — the link prices each flow once), or ``"dense"`` (full
+    #: recomputation on every membership change)
+    incremental_kind = "dense"
 
     def allocate(self, flows: Sequence[_Flow], capacity: float) -> list[float]:
         """Capacity units granted to each flow (same order as ``flows``)."""
         raise NotImplementedError
+
+    def update(
+        self,
+        added: Sequence[_Flow],
+        removed: Sequence[_Flow],
+        capacity: float,
+        load: float,
+    ) -> "tuple[list[float], float] | None":
+        """Incremental fast path for one membership change.
+
+        ``load`` is the policy-defined total weight of the flows active
+        *before* the change (the link threads it back verbatim; zeroed
+        whenever the link drains idle).  Return
+        ``(allocations_for_added, new_load)`` when every existing flow
+        keeps its allocation, or ``None`` to force a dense
+        :meth:`allocate` over the whole active set.
+        """
+        return None
 
 
 class EqualShare(SharePolicy):
     """Egalitarian processor sharing: ``capacity / n_active`` each."""
 
     name = "equal"
+    incremental_kind = "uniform"
 
     def allocate(self, flows: Sequence[_Flow], capacity: float) -> list[float]:
         share = capacity / len(flows)
@@ -141,32 +205,63 @@ class NominalShare(SharePolicy):
     """
 
     name = "nominal"
+    incremental_kind = "static"
 
-    def allocate(self, flows: Sequence[_Flow], capacity: float) -> list[float]:
+    @staticmethod
+    def _check_nominals(flows: Sequence[_Flow]) -> None:
         for flow in flows:
             if flow.nominal is None:
                 raise ValueError(
                     "NominalShare requires every transfer to declare a "
                     "nominal allocation"
                 )
+
+    def allocate(self, flows: Sequence[_Flow], capacity: float) -> list[float]:
+        self._check_nominals(flows)
         total = sum(flow.nominal for flow in flows)
         if total > capacity * (1.0 + 1e-9):
             scale = capacity / total
             return [flow.nominal * scale for flow in flows]
         return [flow.nominal for flow in flows]
 
+    def update(
+        self,
+        added: Sequence[_Flow],
+        removed: Sequence[_Flow],
+        capacity: float,
+        load: float,
+    ) -> "tuple[list[float], float] | None":
+        """Nominal allocations for ``added`` while the link stays feasible.
+
+        ``load`` tracks the sum of active nominals; an arrival that would
+        oversubscribe the link returns ``None`` (dense rescaling takes
+        over until the link drains).
+        """
+        self._check_nominals(added)
+        for flow in added:
+            load += flow.nominal
+        for flow in removed:
+            load -= flow.nominal
+        if load > capacity * (1.0 + 1e-9):
+            return None
+        return [flow.nominal for flow in added], load
+
 
 class FairShareLink:
     """Shared-medium model with policy-driven capacity division.
 
     On every arrival or departure the remaining bits of each flow are
-    decremented by the service received since the last membership change,
-    the policy re-allocates capacity, and completion events are
-    rescheduled for flows whose instantaneous bitrate changed.  Flows
-    whose allocation is membership-independent (:class:`NominalShare`)
-    keep their original completion time exactly.  With the default
+    charged for the service received since the last membership change,
+    the policy re-allocates capacity, and completion events are re-armed
+    for flows whose instantaneous bitrate changed.  Flows whose
+    allocation is membership-independent (:class:`NominalShare`) keep
+    their original completion time exactly.  With the default
     :class:`EqualShare` policy and no ``rate_fn``, a single flow reduces
     to ``bits / capacity`` exactly.
+
+    ``incremental=False`` pins the dense reference engine regardless of
+    policy — the semantic oracle the equivalence suite replays arbitrary
+    schedules against.
     """
 
     def __init__(
@@ -174,13 +269,29 @@ class FairShareLink:
         env: Environment,
         capacity_bps: float,
         policy: SharePolicy | None = None,
+        incremental: bool = True,
     ) -> None:
         if capacity_bps <= 0:
             raise ValueError(f"capacity_bps must be positive, got {capacity_bps}")
         self.env = env
         self.capacity_bps = capacity_bps
         self.policy = policy if policy is not None else EqualShare()
-        self._flows: list[_Flow] = []
+        self.incremental = incremental
+        self._flows: dict[Event, _Flow] = {}
+        self._mode = self._fast_mode() if incremental else "dense"
+        # static engine: policy-owned feasibility load (sum of nominals)
+        self._load = 0.0
+        # uniform engine: processor-sharing virtual service state
+        self._service = 0.0  # cumulative per-flow service (bits)
+        self._service_at = 0.0  # clock instant _service was advanced to
+        self._share_bps = 0.0  # current per-flow rate (capacity / n)
+        self._heap: list[tuple[float, int, _Flow]] = []
+        self._heap_live = 0
+        self._seq = itertools.count()
+        self._head_event: Event | None = None
+
+    def _fast_mode(self) -> str:
+        return getattr(self.policy, "incremental_kind", "dense")
 
     def transfer(
         self,
@@ -200,7 +311,6 @@ class FairShareLink:
         """
         if nbits <= 0:
             raise ValueError(f"nbits must be positive, got {nbits}")
-        self._settle()
         flow = _Flow(
             remaining_bits=float(nbits),
             done=Event(self.env),
@@ -209,8 +319,26 @@ class FairShareLink:
             rate_fn=rate_fn,
             nominal=nominal,
         )
-        self._flows.append(flow)
-        self._reallocate()
+        if self._mode == "uniform":
+            if rate_fn is None:
+                self._uniform_add(flow)
+                return flow.done
+            # Per-flow bitrates break the shared-rate collapse: hand the
+            # whole link to the dense engine from this instant on.
+            self._demote_uniform()
+        if self._mode == "static":
+            admitted = self.policy.update(
+                (flow,), (), self.capacity_bps, self._load
+            )
+            if admitted is not None:
+                allocations, self._load = admitted
+                self._static_admit(flow, allocations[0])
+                return flow.done
+            # Oversubscribed: dense rescaling over the whole active set.
+            self._demote_static()
+        self._dense_settle()
+        self._flows[flow.done] = flow
+        self._dense_reallocate()
         return flow.done
 
     def abort(self, done: Event) -> float | None:
@@ -220,21 +348,43 @@ class FairShareLink:
         removed from the medium, and the remaining capacity is re-divided
         over the surviving transmitters at this exact instant.  The
         flow's ``done`` event never fires — an aborted transfer delivers
-        nothing — and any already-scheduled completion for it becomes
-        stale.  Returns the undelivered bits, or ``None`` when the flow
-        is not in flight (already completed or never started here).
+        nothing — and its scheduled completion is cancelled.  Returns the
+        undelivered bits, or ``None`` when the flow is not in flight
+        (already completed or never started here).
         """
-        for flow in self._flows:
-            if flow.done is done:
-                break
-        else:
+        flow = self._flows.get(done)
+        if flow is None:
             return None
-        self._settle()
-        # Invalidate the scheduled completion: the finisher callback
-        # checks identity against ``flow.completion`` and bails.
+        if self._mode == "uniform":
+            self._uniform_advance()
+            flow.alive = False
+            del self._flows[done]
+            self._heap_live -= 1
+            remaining = flow.key - self._service
+            flow.remaining_bits = remaining if remaining > 0.0 else 0.0
+            self._uniform_rearm()
+            return flow.remaining_bits
+        if self._mode == "static":
+            self._lazy_settle(flow)
+            if flow.completion is not None:
+                self.env.cancel(flow.completion)
+            flow.completion = None
+            flow.alive = False
+            del self._flows[done]
+            self._static_drop_load(flow)
+            if not self._flows:
+                self._reset_idle()
+            return flow.remaining_bits
+        self._dense_settle()
+        if flow.completion is not None:
+            self.env.cancel(flow.completion)
         flow.completion = None
-        self._flows.remove(flow)
-        self._reallocate()
+        flow.alive = False
+        del self._flows[done]
+        if not self._flows:
+            self._reset_idle()
+        else:
+            self._dense_reallocate()
         return flow.remaining_bits
 
     @property
@@ -242,27 +392,187 @@ class FairShareLink:
         return len(self._flows)
 
     # ------------------------------------------------------------------
-    # internals
+    # uniform engine (processor-sharing virtual time)
     # ------------------------------------------------------------------
-    def _settle(self) -> None:
+    def _uniform_advance(self) -> None:
+        """Accrue per-flow service at the rate held since the last change."""
+        now = self.env.now
+        if self._flows and now > self._service_at:
+            self._service += (now - self._service_at) * self._share_bps
+        self._service_at = now
+
+    def _uniform_add(self, flow: _Flow) -> None:
+        self._uniform_advance()
+        flow.key = self._service + flow.remaining_bits
+        heappush(self._heap, (flow.key, next(self._seq), flow))
+        self._heap_live += 1
+        self._flows[flow.done] = flow
+        self._uniform_rearm()
+
+    def _skim_heap(self) -> None:
+        """Drop dead flows from the heap head; compact when they dominate."""
+        heap = self._heap
+        while heap and not heap[0][2].alive:
+            heappop(heap)
+        if len(heap) > 64 and self._heap_live * 2 < len(heap):
+            self._heap = [entry for entry in heap if entry[2].alive]
+            heapify(self._heap)
+
+    def _uniform_rearm(self) -> None:
+        """Re-schedule the link's earliest completion (the only live one)."""
+        if self._head_event is not None:
+            self.env.cancel(self._head_event)
+            self._head_event = None
+        self._skim_heap()
+        if not self._flows:
+            self._reset_idle()
+            return
+        self._share_bps = self.capacity_bps / len(self._flows)
+        key, _, flow = self._heap[0]
+        eta = (key - self._service) / self._share_bps
+        if eta < 0.0:
+            eta = 0.0
+        completion = Event(self.env)
+        self._head_event = completion
+        self.env._schedule(self.env.now + eta, completion, None)
+        completion.add_callback(self._make_uniform_finisher(flow, completion))
+
+    def _make_uniform_finisher(self, flow: _Flow, completion: Event):
+        def _finish(_: Event) -> None:
+            # Superseded head (membership changed since arming): ignore.
+            if completion is not self._head_event or not flow.alive:
+                return
+            self._head_event = None
+            self._uniform_advance()
+            # The armed completion is authoritative: no membership change
+            # occurred since it was scheduled, so the head flow is done
+            # now regardless of float residue in its service credit.
+            heappop(self._heap)
+            self._heap_live -= 1
+            flow.alive = False
+            flow.remaining_bits = 0.0
+            del self._flows[flow.done]
+            self._uniform_rearm()
+            flow.done.succeed()
+
+        return _finish
+
+    # ------------------------------------------------------------------
+    # static engine (membership-independent allocations)
+    # ------------------------------------------------------------------
+    def _static_admit(self, flow: _Flow, allocated: float) -> None:
+        """Price and schedule one admitted flow; nobody else is touched."""
+        bps = flow.rate_fn(allocated) if flow.rate_fn is not None else allocated
+        flow.bps = bps
+        self._flows[flow.done] = flow
+        if bps <= 0.0:
+            # Starved at its own subchannel: stalls forever (as the dense
+            # engine would — the same rate recomputes at every change).
+            flow.completion = None
+            return
+        completion = Event(self.env)
+        flow.completion = completion
+        eta = flow.remaining_bits / bps
+        self.env._schedule(self.env.now + eta, completion, None)
+        completion.add_callback(self._make_static_finisher(flow, completion))
+
+    def _static_drop_load(self, flow: _Flow) -> None:
+        dropped = self.policy.update((), (flow,), self.capacity_bps, self._load)
+        if dropped is not None:
+            self._load = dropped[1]
+
+    def _make_static_finisher(self, flow: _Flow, completion: Event):
+        def _finish(_: Event) -> None:
+            if (
+                flow.completion is not completion
+                or flow.done.triggered
+                or not flow.alive
+            ):
+                return
+            flow.remaining_bits = 0.0
+            flow.alive = False
+            del self._flows[flow.done]
+            self._static_drop_load(flow)
+            if not self._flows:
+                self._reset_idle()
+            flow.done.succeed()
+
+        return _finish
+
+    def _lazy_settle(self, flow: _Flow) -> None:
+        """Charge one flow for the service since its last settlement."""
+        elapsed = self.env.now - flow.last_update
+        if elapsed > 0.0 and flow.bps > 0.0:
+            flow.remaining_bits = max(
+                0.0, flow.remaining_bits - elapsed * flow.bps
+            )
+        flow.last_update = self.env.now
+
+    # ------------------------------------------------------------------
+    # engine demotion / idle reset
+    # ------------------------------------------------------------------
+    def _demote_uniform(self) -> None:
+        """Materialize uniform-engine state into dense per-flow fields."""
+        self._uniform_advance()
+        if self._head_event is not None:
+            self.env.cancel(self._head_event)
+            self._head_event = None
+        now = self.env.now
+        for flow in self._flows.values():
+            remaining = flow.key - self._service
+            flow.remaining_bits = remaining if remaining > 0.0 else 0.0
+            flow.last_update = now
+            flow.bps = self._share_bps
+            flow.completion = None  # dense reallocation re-arms everyone
+        self._heap.clear()
+        self._heap_live = 0
+        self._mode = "dense"
+
+    def _demote_static(self) -> None:
+        """Settle every flow lazily; dense rescaling takes over."""
+        for flow in self._flows.values():
+            self._lazy_settle(flow)
+        self._mode = "dense"
+
+    def _reset_idle(self) -> None:
+        """Drained links zero their accumulators and re-arm the fast mode."""
+        self._load = 0.0
+        self._service = 0.0
+        self._service_at = self.env.now
+        self._share_bps = 0.0
+        self._heap.clear()
+        self._heap_live = 0
+        if self._head_event is not None:
+            self.env.cancel(self._head_event)
+            self._head_event = None
+        if self.incremental:
+            self._mode = self._fast_mode()
+
+    # ------------------------------------------------------------------
+    # dense engine (full recomputation — the reference semantics)
+    # ------------------------------------------------------------------
+    def _dense_settle(self) -> None:
         """Charge elapsed service to every active flow."""
         now = self.env.now
-        for flow in self._flows:
+        for flow in self._flows.values():
             elapsed = now - flow.last_update
             if elapsed > 0.0 and flow.bps > 0.0:
                 flow.remaining_bits = max(0.0, flow.remaining_bits - elapsed * flow.bps)
             flow.last_update = now
 
-    def _reallocate(self) -> None:
-        """Re-divide capacity; reschedule flows whose bitrate changed."""
+    def _dense_reallocate(self) -> None:
+        """Re-divide capacity; re-arm flows whose bitrate changed."""
         if not self._flows:
             return
-        allocations = self.policy.allocate(list(self._flows), self.capacity_bps)
-        for flow, allocated in zip(self._flows, allocations):
+        flows = list(self._flows.values())
+        allocations = self.policy.allocate(flows, self.capacity_bps)
+        for flow, allocated in zip(flows, allocations):
             bps = flow.rate_fn(allocated) if flow.rate_fn is not None else allocated
             if flow.completion is not None and bps == flow.bps:
                 continue  # unchanged rate: the scheduled completion stands
             flow.bps = bps
+            if flow.completion is not None:
+                self.env.cancel(flow.completion)
             if bps <= 0.0:
                 # Starved flow: stalls until the next membership change.
                 flow.completion = None
@@ -271,9 +581,9 @@ class FairShareLink:
             flow.completion = completion
             eta = flow.remaining_bits / bps
             self.env._schedule(self.env.now + eta, completion, None)
-            completion.add_callback(self._make_finisher(flow, completion))
+            completion.add_callback(self._make_dense_finisher(flow, completion))
 
-    def _make_finisher(self, flow: _Flow, completion: Event):
+    def _make_dense_finisher(self, flow: _Flow, completion: Event):
         def _finish(_: Event) -> None:
             # Stale completion (rate changed since scheduling): ignore.
             if flow.completion is not completion or flow.done.triggered:
@@ -281,10 +591,14 @@ class FairShareLink:
             # The live completion event is authoritative: the flow's rate
             # has not changed since it was scheduled, so the transfer is
             # done now regardless of float residue in remaining_bits.
-            self._settle()
+            self._dense_settle()
             flow.remaining_bits = 0.0
-            self._flows.remove(flow)
-            self._reallocate()
+            flow.alive = False
+            del self._flows[flow.done]
+            if not self._flows:
+                self._reset_idle()
+            else:
+                self._dense_reallocate()
             flow.done.succeed()
 
         return _finish

@@ -138,9 +138,21 @@ class AllocatorSharePolicy:
     inverse-rate) become contention-aware: a flow's bandwidth grows when
     other pipelines fall silent and shrinks when they come on the air.
     Duck-typed against :class:`repro.sim.resources.SharePolicy` (the
-    kernel only calls :meth:`allocate`), keeping ``repro.sim`` free of
-    wireless imports.
+    kernel calls :meth:`allocate` and consults :attr:`incremental_kind` /
+    :meth:`update`), keeping ``repro.sim`` free of wireless imports.
+    Allocations depend on the whole active client set, so the link keeps
+    its dense engine for this policy (``incremental_kind = "dense"``);
+    the per-frozenset share memoisation below is the policy's own fast
+    path, and the ``--profile`` scale bench marks it as the next hot
+    path at fleet size (the frozenset hash itself is O(active)).
     """
+
+    #: contended allocations are membership-coupled: dense recomputation
+    incremental_kind = "dense"
+
+    def update(self, added, removed, capacity, load):
+        """No incremental fast path: every change re-runs the allocator."""
+        return None
 
     def __init__(self, allocator: BandwidthAllocator, channel: WirelessChannel) -> None:
         self.allocator = allocator

@@ -178,3 +178,93 @@ class TestConditions:
         barrier = env.all_of([done, env.timeout(2.0, "late")])
         env.run(until=barrier)
         assert barrier.value == ["pre", "late"]
+
+
+class TestLazyCancellation:
+    """Cancelled events never fire and never bloat the queue."""
+
+    def test_cancelled_timeout_never_fires(self):
+        env = Environment()
+        log = []
+        doomed = env.timeout(1.0)
+        doomed.add_callback(lambda ev: log.append("doomed"))
+        survivor = env.timeout(2.0)
+        survivor.add_callback(lambda ev: log.append("survivor"))
+        env.cancel(doomed)
+        env.run()
+        assert log == ["survivor"]
+        assert env.now == 2.0
+        assert not doomed.triggered
+
+    def test_pending_counts_live_entries_only(self):
+        env = Environment()
+        events = [env.timeout(float(i + 1)) for i in range(10)]
+        assert env.pending == 10
+        for ev in events[:4]:
+            env.cancel(ev)
+        assert env.pending == 6
+        env.run()
+        assert env.pending == 0
+        assert env.events_fired == 6
+
+    def test_cancel_is_idempotent_and_noop_after_trigger(self):
+        env = Environment()
+        fired = env.timeout(1.0)
+        env.run()
+        assert fired.triggered
+        env.cancel(fired)  # no-op: already fired
+        assert env.pending == 0
+        fresh = env.timeout(1.0)
+        env.cancel(fresh)
+        env.cancel(fresh)  # no-op: already cancelled
+        assert env.pending == 0
+
+    def test_succeed_on_cancelled_event_raises(self):
+        env = Environment()
+        ev = env.timeout(1.0)
+        env.cancel(ev)
+        with pytest.raises(RuntimeError, match="cancelled"):
+            ev.succeed()
+
+    def test_run_until_deadline_skips_cancelled_head(self):
+        # A cancelled head entry beyond the deadline must not end the
+        # run early or advance the clock past `until`.
+        env = Environment()
+        log = []
+        far = env.timeout(10.0)
+        near = env.timeout(1.0)
+        near.add_callback(lambda ev: log.append(env.now))
+        env.cancel(far)
+        env.run(until=5.0)
+        assert log == [1.0]
+        assert env.now == 5.0
+
+    def test_run_until_event_with_cancelled_queue_deadlocks(self):
+        env = Environment()
+        target = env.event()
+        lone = env.timeout(1.0)
+        env.cancel(lone)
+        with pytest.raises(RuntimeError, match="drained"):
+            env.run(until=target)
+
+    def test_compaction_bounds_queue_length(self):
+        env = Environment()
+        keeper = env.timeout(1e9)
+        for i in range(5000):
+            env.cancel(env.timeout(float(i + 1)))
+        # Dead entries dominated repeatedly: compaction must have kept
+        # the physical heap near the live population, not at 5001.
+        assert env.pending == 1
+        assert len(env._queue) <= Environment._COMPACT_FLOOR + 1
+        env.run()
+        assert env.now == 1e9
+        assert keeper.triggered
+
+    def test_peak_pending_tracks_high_water_mark(self):
+        env = Environment()
+        evs = [env.timeout(1.0) for _ in range(7)]
+        for ev in evs:
+            env.cancel(ev)
+        env.timeout(2.0)
+        env.run()
+        assert env.peak_pending == 7
