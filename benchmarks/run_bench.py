@@ -233,8 +233,7 @@ def _churn_run(
     else:
         deadline = t0 + budget_s
         while time.perf_counter() < deadline:
-            env._skim()
-            if not env._queue:
+            if not env.pending:
                 break
             env.step()
         else:

@@ -91,6 +91,7 @@ class Environment:
         if at < self.now:
             raise RuntimeError(f"cannot schedule in the past ({at} < {self.now})")
         heapq.heappush(self._queue, (at, next(self._counter), event, value))
+        event.scheduled = True
         self._live += 1
         if self._live > self.peak_pending:
             self.peak_pending = self._live
@@ -100,10 +101,12 @@ class Environment:
 
         The event will never fire; its queue entry is skipped when it
         reaches the head (or dropped by compaction before that).
-        Cancelling an already-triggered or already-cancelled event is a
-        no-op, so callers need not track whether a completion raced them.
+        Cancelling an already-triggered, already-cancelled, or
+        never-scheduled event is a no-op, so callers need not track
+        whether a completion raced them (and a cancel on an unscheduled
+        event cannot skew the live-entry accounting).
         """
-        if event.triggered or event.cancelled:
+        if event.triggered or event.cancelled or not event.scheduled:
             return
         event.cancelled = True
         self._live -= 1
@@ -144,11 +147,17 @@ class Environment:
     # main loop
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Pop and fire the next live scheduled event."""
-        while True:
-            at, _, event, value = heapq.heappop(self._queue)
-            if not event.cancelled:
-                break
+        """Pop and fire the next live scheduled event.
+
+        Lazily-cancelled entries at the head are skimmed first, so
+        direct callers cannot trip over them; raises a clear
+        :class:`RuntimeError` (not ``IndexError``) when no live entry
+        remains.
+        """
+        self._skim()
+        if not self._queue:
+            raise RuntimeError("cannot step(): event queue is empty")
+        at, _, event, value = heapq.heappop(self._queue)
         self.now = at
         self._live -= 1
         if not event.triggered:

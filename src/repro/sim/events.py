@@ -33,6 +33,8 @@ class Event:
         self.env = env
         self.triggered = False
         self.cancelled = False
+        #: set by Environment._schedule; cancel() is a no-op before then
+        self.scheduled = False
         self.value: Any = None
         self._callbacks: list[Callable[["Event"], None]] = []
 

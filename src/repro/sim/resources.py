@@ -529,9 +529,21 @@ class FairShareLink:
         self._mode = "dense"
 
     def _demote_static(self) -> None:
-        """Settle every flow lazily; dense rescaling takes over."""
+        """Settle every flow lazily; dense rescaling takes over.
+
+        Static-era completions are cancelled so the dense reallocation
+        re-arms every flow with a *dense* finisher.  A static finisher
+        surviving into dense mode would complete its flow without
+        re-dividing the medium over the survivors — reachable when a
+        clamping ``rate_fn`` keeps a flow's bitrate unchanged under
+        rescaling, so :meth:`_dense_reallocate` would otherwise let the
+        stale completion stand.
+        """
         for flow in self._flows.values():
             self._lazy_settle(flow)
+            if flow.completion is not None:
+                self.env.cancel(flow.completion)
+            flow.completion = None  # dense reallocation re-arms everyone
         self._mode = "dense"
 
     def _reset_idle(self) -> None:

@@ -219,6 +219,38 @@ class TestLazyCancellation:
         env.cancel(fresh)  # no-op: already cancelled
         assert env.pending == 0
 
+    def test_cancel_unscheduled_event_is_noop(self):
+        # A bare event was never scheduled: cancelling it must not skew
+        # the live-entry accounting, and it must stay usable.
+        env = Environment()
+        env.timeout(1.0)
+        unscheduled = env.event()
+        env.cancel(unscheduled)
+        assert env.pending == 1
+        assert not unscheduled.cancelled
+        unscheduled.succeed("still fine")
+        assert unscheduled.value == "still fine"
+        env.run()
+        assert env.pending == 0
+        assert env.peak_pending == 1
+
+    def test_step_on_empty_queue_raises_clear_error(self):
+        env = Environment()
+        with pytest.raises(RuntimeError, match="empty"):
+            env.step()
+
+    def test_step_skims_cancelled_entries(self):
+        # Direct step() callers must neither fire a lazily-cancelled
+        # head nor hit IndexError on a queue of only-cancelled entries.
+        env = Environment()
+        env.cancel(env.timeout(1.0))
+        survivor = env.timeout(2.0)
+        env.step()
+        assert survivor.triggered and env.now == 2.0
+        env.cancel(env.timeout(3.0))
+        with pytest.raises(RuntimeError, match="empty"):
+            env.step()
+
     def test_succeed_on_cancelled_event_raises(self):
         env = Environment()
         ev = env.timeout(1.0)

@@ -51,6 +51,7 @@ def run_schedule(
     capacity=CAPACITY,
     nominals=None,
     rate_scales=None,
+    rate_fns=None,
     clients=None,
 ):
     """Replay one arrival/abort schedule; returns (completions, aborts, order).
@@ -75,6 +76,8 @@ def run_schedule(
         if rate_scales is not None and rate_scales[i] is not None:
             scale = rate_scales[i]
             kwargs["rate_fn"] = lambda hz: scale * hz
+        if rate_fns is not None and rate_fns[i] is not None:
+            kwargs["rate_fn"] = rate_fns[i]
         if clients is not None:
             kwargs["client"] = clients[i]
         done = link.transfer(bits, **kwargs)
@@ -199,6 +202,68 @@ class TestNominalShareEquivalence:
         fast = run_schedule(NominalShare, True, specs, nominals=nominals)
         dense = run_schedule(NominalShare, False, specs, nominals=nominals)
         assert_equivalent(fast, dense, exact=True)
+
+    def test_clamped_rate_fn_demotion_rescales_survivors(self):
+        """A clamping ``rate_fn`` keeps a flow's bitrate unchanged under
+        dense rescaling, so demotion must cancel its static-era
+        completion — a surviving static finisher would complete the flow
+        without re-dividing the medium, leaving the other flows at stale
+        scaled-down rates."""
+        specs = [(0, 600, None), (4, 600, None)]
+        nominals = [60.0, 60.0]
+        rate_fns = [lambda hz: min(hz, 50.0), None]
+        fast = run_schedule(
+            NominalShare,
+            True,
+            specs,
+            capacity=100.0,
+            nominals=nominals,
+            rate_fns=rate_fns,
+        )
+        dense = run_schedule(
+            NominalShare,
+            False,
+            specs,
+            capacity=100.0,
+            nominals=nominals,
+            rate_fns=rate_fns,
+        )
+        assert_equivalent(fast, dense)
+        # The clamped flow finishes first; the survivor must then speed
+        # up to its full (feasible) nominal rate, not stay rescaled.
+        assert fast[0][1] == pytest.approx(dense[0][1], rel=1e-12)
+
+    @given(specs=FLOW_SPECS, clamp_data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_schedules_with_clamped_rate_fns(
+        self, specs, clamp_data
+    ):
+        """Clamped rate_fns make a flow's bps membership-*insensitive*
+        in exactly the regime the static->dense demotion rescales, so
+        these schedules exercise the stale-finisher path that linear
+        rate_fns (whose bps always changes under rescaling) miss."""
+        nominals = [
+            clamp_data.draw(st.integers(min_value=1, max_value=30)) * 1.0
+            for _ in specs
+        ]
+        rate_fns = [
+            None
+            if cap is None
+            else (lambda hz, c=float(cap): min(hz, c))
+            for cap in (
+                clamp_data.draw(
+                    st.one_of(st.none(), st.integers(min_value=1, max_value=20))
+                )
+                for _ in specs
+            )
+        ]
+        fast = run_schedule(
+            NominalShare, True, specs, nominals=nominals, rate_fns=rate_fns
+        )
+        dense = run_schedule(
+            NominalShare, False, specs, nominals=nominals, rate_fns=rate_fns
+        )
+        assert_equivalent(fast, dense)
 
     def test_abort_settlement_matches_dense(self):
         specs = [(0, 200, None), (2, 200, 0.4), (4, 100, None)]
