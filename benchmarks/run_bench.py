@@ -374,6 +374,7 @@ def runtime_report(quick: bool, profile: bool = False) -> dict:
     report["async"] = async_round_latency_report(quick)
     report["failures"] = failure_model_report(quick)
     report["grouping"] = grouping_report(quick)
+    report["transport"] = transport_report(quick)
     report["scale"] = scale_report(quick, profile=profile)
     return report
 
@@ -497,6 +498,97 @@ def failure_model_report(quick: bool) -> dict:
               f"({row['latency_overhead'] * 100:+.1f}%, {on['aborts']} aborts, "
               f"{on['retries']} retries, {on['surrenders']} surrenders)")
     return report
+
+#: trace phases whose rows carry payloads that actually hit the air
+TRANSMIT_PHASES = (
+    "model_distribution",
+    "uplink_smashed",
+    "downlink_gradient",
+    "model_relay",
+    "model_upload",
+    "model_download",
+)
+
+
+def transport_report(quick: bool) -> dict:
+    """Accuracy-vs-latency frontier across transport codecs → ``transport``.
+
+    GSFL and SplitFed each run the same scenario under every named codec:
+    ``float32`` (identity wire, the bitwise-pinned baseline), ``int8`` /
+    ``intk:4`` (uniform-affine quantization), and ``topk:0.1`` (magnitude
+    sparsification).  Wire bytes are measured off the trace recorder (sum
+    of payload bytes over the transmit phases), so the reduction column
+    is what the DES actually shipped — encode/decode compute is priced on
+    the owning devices and therefore included in the latency column.  A
+    second pass replays each codec under the mid-activity churn trace of
+    the failure benchmark and reports the abort/retry counts: smaller
+    payloads spend less airtime inside the preemption window.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.dynamics import DynamicsConfig
+    from repro.experiments.runner import make_scheme
+    from repro.experiments.scenario import fast_scenario
+
+    rounds = 1 if quick else 3
+    codecs = ("float32", "int8", "intk:4", "topk:0.1")
+    churn = {"churn_uptime_s": 0.15, "churn_downtime_s": 0.05}
+    report: dict = {
+        "rounds": rounds,
+        "codecs": list(codecs),
+        "churn": {**churn, "failure_model": "mid-activity", "max_retries": 2},
+        "schemes": {},
+    }
+
+    def wire_bytes(scheme) -> int:
+        totals = scheme.recorder.total_bytes_by_phase()
+        return sum(totals.get(phase, 0) for phase in TRANSMIT_PHASES)
+
+    for name in ("GSFL", "SplitFed"):
+        rows: dict = {}
+        for codec in codecs:
+            scenario = fast_scenario(with_wireless=True)
+            scenario.scheme = replace(scenario.scheme, transport=codec)
+            scheme = make_scheme(name, scenario.build())
+            history = scheme.run(rounds)
+
+            churn_scenario = fast_scenario(with_wireless=True)
+            churn_scenario.scheme = replace(churn_scenario.scheme, transport=codec)
+            churn_scenario.dynamics = DynamicsConfig(
+                failure_model="mid-activity", max_retries=2, seed=0, **churn
+            )
+            churn_scheme = make_scheme(name, churn_scenario.build())
+            churn_scheme.run(rounds)
+
+            rows[codec] = {
+                "total_latency_s": history.total_latency_s,
+                "final_accuracy": history.final_accuracy,
+                "wire_bytes": wire_bytes(scheme),
+                "churn_aborts": len(churn_scheme.recorder.aborts),
+                "churn_retries": len(churn_scheme.recorder.retries),
+                "churn_surrenders": sum(
+                    a.resolution == "surrender"
+                    for a in churn_scheme.recorder.aborts
+                ),
+            }
+        base = rows["float32"]
+        for codec, row in rows.items():
+            row["wire_reduction_vs_float32"] = (
+                base["wire_bytes"] / row["wire_bytes"]
+            )
+            row["latency_speedup_vs_float32"] = (
+                base["total_latency_s"] / row["total_latency_s"]
+            )
+            print(f"{name + ' ' + codec:>24}: "
+                  f"latency {row['total_latency_s']:8.3f} s "
+                  f"({row['latency_speedup_vs_float32']:.2f}x), "
+                  f"wire {row['wire_bytes'] / 1e6:7.3f} MB "
+                  f"({row['wire_reduction_vs_float32']:.2f}x), "
+                  f"acc {row['final_accuracy']:.3f}, "
+                  f"{row['churn_aborts']} aborts under churn")
+        report["schemes"][name] = rows
+    return report
+
 
 def grouping_report(quick: bool) -> dict:
     """Static vs churn-aware regrouping under the PR-4 churn benchmark.

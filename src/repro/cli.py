@@ -134,7 +134,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-partition every N rounds (with --regroup; default 1)",
     )
     prun.add_argument("--cut-layer", type=int, default=None)
-    prun.add_argument("--quantize-bits", type=int, default=None)
+    prun.add_argument(
+        "--quantize-bits", type=int, default=None,
+        help="shorthand for --transport intk:K (K-bit uniform-affine codes)",
+    )
+    prun.add_argument(
+        "--transport", default=None, metavar="CODEC",
+        help="wire codec for model/smashed/gradient payloads: 'float32' "
+        "(identity, default), 'int8', 'intk:K' (K-bit uniform-affine), or "
+        "'topk:F' (keep the top F fraction of entries by magnitude); "
+        "encode/decode compute is priced on the owning device and wire "
+        "bytes shrink to what the codec actually ships",
+    )
     prun.add_argument("--failure-rate", type=float, default=0.0)
     prun.add_argument(
         "--participation", type=float, default=1.0,
@@ -251,6 +262,7 @@ def _export_trace(path: str, scheme: "object") -> None:
                 "scheme": scheme.name,
                 "rounds": len(scheme.round_timings),
                 "medium": scheme.config.medium,
+                "transport": scheme.config.transport,
                 "aggregation": scheme.config.aggregation,
                 "failure_model": getattr(scheme, "failure_model", "none"),
                 "grouping": getattr(scheme, "grouping", None),
@@ -380,6 +392,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             scenario.grouping = args.grouping
         if (
             args.quantize_bits is not None
+            or args.transport is not None
             or args.aggregation != "sync"
             or args.regroup is not None
             or args.regroup_every != 1
@@ -389,6 +402,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             overrides = {}
             if args.quantize_bits is not None:
                 overrides["quantize_bits"] = args.quantize_bits
+            if args.transport is not None:
+                overrides["transport"] = args.transport
             if args.aggregation != "sync":
                 overrides["aggregation"] = args.aggregation
             if args.regroup is not None:

@@ -122,6 +122,7 @@ class GroupSplitFederatedLearning(AsyncSplitStateMixin, Scheme):
             self.profile,
             self.config.batch_size,
             quantize_bits=self.config.quantize_bits,
+            transport=self.config.transport,
         )
 
         if groups is not None:
@@ -376,21 +377,45 @@ class GroupSplitFederatedLearning(AsyncSplitStateMixin, Scheme):
         fading and loader streams replay identically.
         """
         pricing = self._pricing
+        # A lossy transport shrinks every model hop to the codec's wire
+        # size and brackets it with encode/decode compute on the owning
+        # devices; the identity codec changes nothing (bitwise-pinned).
+        lossy = pricing.codec.lossy
+        wire_bytes = pricing.model_wire_nbytes(client_model_bytes)
+        scalars = pricing.model_scalars(client_model_bytes) if lossy else 0
         activities: list[Activity] = []
         batches: list[list[tuple]] = []
         for position, client in enumerate(members):
             if position == 0:
                 # Step 1 (distribution): AP → first client of the group.
+                if lossy:
+                    activities.append(
+                        Activity(
+                            pricing.server_encode_demand(scalars),
+                            "encode",
+                            "edge-server",
+                            detail=f"model for client-{client}",
+                        )
+                    )
                 activities.append(
                     Activity(
                         pricing.downlink_model_demand(
-                            client, client_model_bytes, bandwidth
+                            client, wire_bytes, bandwidth
                         ),
                         "model_distribution",
                         f"client-{client}",
-                        nbytes=client_model_bytes,
+                        nbytes=wire_bytes,
                     )
                 )
+                if lossy:
+                    activities.append(
+                        Activity(
+                            pricing.client_decode_demand(client, scalars),
+                            "decode",
+                            f"client-{client}",
+                            detail="model",
+                        )
+                    )
             batches.append(
                 [
                     self.client_loaders[client].sample_batch()
@@ -408,31 +433,68 @@ class GroupSplitFederatedLearning(AsyncSplitStateMixin, Scheme):
             )
             if position < len(members) - 1:
                 # Step 2.3 (sharing): relay to the next client via AP.
+                nxt = members[position + 1]
+                if lossy:
+                    activities.append(
+                        Activity(
+                            pricing.client_encode_demand(client, scalars),
+                            "encode",
+                            f"client-{client}",
+                            detail="relay model",
+                        )
+                    )
                 activities.append(
                     Activity(
                         pricing.relay_model_demand(
                             client,
-                            members[position + 1],
-                            client_model_bytes,
+                            nxt,
+                            wire_bytes,
                             bandwidth,
                         ),
                         "model_relay",
                         f"client-{client}",
-                        nbytes=2 * client_model_bytes,
+                        nbytes=2 * wire_bytes,
                     )
                 )
+                if lossy:
+                    activities.append(
+                        Activity(
+                            pricing.client_decode_demand(nxt, scalars),
+                            "decode",
+                            f"client-{nxt}",
+                            detail="relay model",
+                        )
+                    )
             else:
                 # Last client returns the client-side half to the AP.
+                if lossy:
+                    activities.append(
+                        Activity(
+                            pricing.client_encode_demand(client, scalars),
+                            "encode",
+                            f"client-{client}",
+                            detail="model upload",
+                        )
+                    )
                 activities.append(
                     Activity(
                         pricing.uplink_model_demand(
-                            client, client_model_bytes, bandwidth
+                            client, wire_bytes, bandwidth
                         ),
                         "model_upload",
                         f"client-{client}",
-                        nbytes=client_model_bytes,
+                        nbytes=wire_bytes,
                     )
                 )
+                if lossy:
+                    activities.append(
+                        Activity(
+                            pricing.server_decode_demand(scalars),
+                            "decode",
+                            "edge-server",
+                            detail=f"model from client-{client}",
+                        )
+                    )
         return activities, batches
 
     # ------------------------------------------------------------------

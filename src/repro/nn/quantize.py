@@ -41,10 +41,21 @@ class QuantizedArray:
     shape: tuple[int, ...]
     constant: bool = False
 
+    #: wire overhead of the two per-tensor parameters (scale, zero_point),
+    #: 8 bytes each
+    PARAMS_BYTES = 16
+
     @property
     def payload_bytes(self) -> int:
-        """Wire size: packed codes plus the two float parameters."""
-        return int(np.ceil(self.codes.size * self.num_bits / 8)) + 8
+        """Wire size: packed codes plus the two 8-byte parameters.
+
+        Constant and empty tensors carry no codes at all — their value
+        (if any) lives entirely in the parameters, so only the parameter
+        overhead hits the wire.
+        """
+        if self.constant or self.codes.size == 0:
+            return self.PARAMS_BYTES
+        return int(np.ceil(self.codes.size * self.num_bits / 8)) + self.PARAMS_BYTES
 
     def __post_init__(self) -> None:
         if not 1 <= self.num_bits <= 16:
@@ -64,6 +75,11 @@ def quantize_uniform(x: np.ndarray, num_bits: int = 8) -> QuantizedArray:
             zero_point=0,
             num_bits=num_bits,
             shape=x.shape,
+        )
+    if not np.isfinite(x).all():
+        raise ValueError(
+            "quantize_uniform: input contains non-finite values (NaN/inf); "
+            "refusing to emit undefined wire codes"
         )
     lo, hi = float(x.min()), float(x.max())
     if hi <= lo:

@@ -51,6 +51,7 @@ from repro.sim.server import (
     parse_aggregation,
 )
 from repro.sim.trace import TraceRecorder
+from repro.sim.transport import IntKCodec, TransportCodec, parse_transport
 from repro.utils.rng import spawn_rngs
 from repro.utils.validation import check_in_choices, check_positive
 
@@ -187,10 +188,15 @@ class SchemeConfig:
     synthetic dataset).  Momentum defaults to 0 so optimizer state need
     not ride along with relayed models in the split schemes.
 
-    ``quantize_bits`` (extension beyond the paper) compresses the
-    smashed-data / smashed-gradient wire payloads to the given bit width;
-    training genuinely sees the quantization error, and the latency model
-    prices the smaller payloads.
+    ``transport`` (extension beyond the paper) names the wire codec for
+    everything that crosses the air — smashed data, gradients, and model
+    payloads: ``"float32"`` (identity, the default), ``"int8"`` /
+    ``"intk:K"`` uniform affine quantization, ``"topk:F"`` magnitude
+    sparsification.  Training genuinely sees the codec's error, the
+    latency model prices the smaller payloads, and encode/decode FLOPs
+    are charged to the owning device — see :mod:`repro.sim.transport`.
+    ``quantize_bits`` is retained as sugar for ``transport="intk:K"``
+    (setting both to conflicting values is an error).
 
     ``medium`` selects how the runtime's shared wireless medium divides
     bandwidth: ``"static"`` gives every transmission exactly its nominal
@@ -225,6 +231,7 @@ class SchemeConfig:
     eval_every: int = 1
     eval_batch_size: int = 256
     quantize_bits: int | None = None
+    transport: str = "float32"
     medium: str = "static"
     aggregation: str = "sync"
     regroup: str = "static"
@@ -248,6 +255,26 @@ class SchemeConfig:
             raise ValueError(
                 f"quantize_bits must be in [1, 16] or None, got {self.quantize_bits}"
             )
+        codec = parse_transport(self.transport)  # raises on malformed specs
+        if self.quantize_bits is not None:
+            if not codec.lossy:
+                codec = IntKCodec(self.quantize_bits)  # sugar for intk:K
+            elif not (
+                isinstance(codec, IntKCodec)
+                and codec.num_bits == self.quantize_bits
+            ):
+                raise ValueError(
+                    f"transport {self.transport!r} conflicts with "
+                    f"quantize_bits={self.quantize_bits}"
+                )
+        elif isinstance(codec, IntKCodec):
+            self.quantize_bits = codec.num_bits
+        self.transport = codec.name
+
+    @property
+    def codec(self) -> TransportCodec:
+        """The resolved wire codec (:mod:`repro.sim.transport`)."""
+        return parse_transport(self.transport)
 
 
 class Scheme:

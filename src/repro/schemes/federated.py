@@ -17,6 +17,7 @@ from repro.core.aggregation import fedavg, mix_states
 from repro.nn.tensor import Tensor
 from repro.schemes.base import Activity, Scheme, Stage
 from repro.schemes.pricing import LatencyModel
+from repro.schemes.split_common import price_model_downlink, price_model_uplink
 from repro.sim.server import RetryAt, UnitRoundWork
 
 __all__ = ["FederatedLearning"]
@@ -36,7 +37,13 @@ class FederatedLearning(Scheme):
     def __init__(self, *args: object, **kwargs: object) -> None:
         super().__init__(*args, **kwargs)
         self._loss_fn = nn.CrossEntropyLoss()
-        self._pricing = LatencyModel(self.system, self.profile, self.config.batch_size)
+        self._pricing = LatencyModel(
+            self.system,
+            self.profile,
+            self.config.batch_size,
+            quantize_bits=self.config.quantize_bits,
+            transport=self.config.transport,
+        )
         self._global_state = self.model.state_dict()
 
     def _run_round(self, round_index: int) -> list[Stage]:
@@ -46,19 +53,32 @@ class FederatedLearning(Scheme):
         if not participants:
             return []
         model_bytes = pricing.full_model_nbytes()
+        lossy = pricing.codec.lossy
+        wire_bytes = pricing.model_wire_nbytes(model_bytes)
+        scalars = pricing.model_scalars(model_bytes) if lossy else 0
 
         # --- stage 1: model distribution (single AP broadcast) --------
         distribution = Stage("distribution")
         if pricing.enabled:
+            if lossy:
+                distribution.add(
+                    "access-point",
+                    Activity(
+                        pricing.server_encode_demand(scalars),
+                        "encode",
+                        "access-point",
+                        detail="model broadcast",
+                    ),
+                )
             distribution.add(
                 "access-point",
                 Activity(
                     pricing.broadcast_model_demand(
-                        participants, model_bytes, pricing.total_bandwidth_hz
+                        participants, wire_bytes, pricing.total_bandwidth_hz
                     ),
                     "model_distribution",
                     "access-point",
-                    nbytes=model_bytes,
+                    nbytes=wire_bytes,
                 ),
             )
 
@@ -67,6 +87,17 @@ class FederatedLearning(Scheme):
         local_states = []
         total_loss = 0.0
         for c in participants:
+            if pricing.enabled and lossy:
+                # Each client unpacks the coded broadcast before training.
+                local.add(
+                    f"client-{c}",
+                    Activity(
+                        pricing.client_decode_demand(c, scalars),
+                        "decode",
+                        f"client-{c}",
+                        detail="model",
+                    ),
+                )
             state, step_losses, activities = self._local_training_round(c)
             for activity in activities:
                 local.add(f"client-{c}", activity)
@@ -80,14 +111,9 @@ class FederatedLearning(Scheme):
         if pricing.enabled:
             share = pricing.total_bandwidth_hz / len(participants)
             for c in participants:
-                upload.add(
+                upload.extend(
                     f"client-{c}",
-                    Activity(
-                        pricing.uplink_model_demand(c, model_bytes, share),
-                        "model_upload",
-                        f"client-{c}",
-                        nbytes=model_bytes,
-                    ),
+                    price_model_uplink(pricing, c, model_bytes, share),
                 )
 
         # --- stage 4: FedAvg at the server ------------------------------
@@ -117,8 +143,16 @@ class FederatedLearning(Scheme):
         and per-step losses returned unreduced so the sync driver can
         keep its legacy one-running-sum accumulation across clients,
         bitwise): returns ``(trained_state, step_losses, activities)``.
+
+        With a lossy transport codec the client trains from what the
+        codec preserved of the broadcast global, and the returned state
+        is the coded upload the server will actually average.
         """
-        self.model.load_state_dict(self._global_state)
+        codec = self._pricing.codec
+        start_state = self._global_state
+        if codec.lossy:
+            start_state = codec.apply_state(start_state)
+        self.model.load_state_dict(start_state)
         optimizer = self._make_sgd(self.model.parameters())
         step_losses: list[float] = []
         activities: list[Activity] = []
@@ -137,7 +171,10 @@ class FederatedLearning(Scheme):
                     detail="local step",
                 )
             )
-        return self.model.state_dict(), step_losses, activities
+        trained = self.model.state_dict()
+        if codec.lossy:
+            trained = codec.apply_state(trained)
+        return trained, step_losses, activities
 
     # ------------------------------------------------------------------
     # asynchronous aggregation (barrier-free policies)
@@ -165,28 +202,15 @@ class FederatedLearning(Scheme):
         pricing = self._pricing
         share = pricing.total_bandwidth_hz / self.num_clients
         model_bytes = pricing.full_model_nbytes()
-        track = f"client-{unit}"
-        activities = [
-            Activity(
-                pricing.downlink_model_demand(unit, model_bytes, share),
-                "model_download",
-                track,
-                nbytes=model_bytes,
-            )
-        ]
+        activities = price_model_downlink(
+            pricing, unit, model_bytes, share, phase="model_download"
+        )
         state, step_losses, compute = self._local_training_round(unit)
         activities.extend(compute)
         total_loss = 0.0
         for step_loss in step_losses:
             total_loss += step_loss
-        activities.append(
-            Activity(
-                pricing.uplink_model_demand(unit, model_bytes, share),
-                "model_upload",
-                track,
-                nbytes=model_bytes,
-            )
-        )
+        activities.extend(price_model_uplink(pricing, unit, model_bytes, share))
         activities.append(
             Activity(
                 pricing.aggregation_demand(2, self.model.num_parameters()),

@@ -35,12 +35,15 @@ import numpy as np
 
 from repro import nn
 from repro.core.aggregation import fedavg
-from repro.nn.quantize import simulate_wire
 from repro.nn.split import ClientHalf, SmashedBatch, split_model
 from repro.nn.tensor import Tensor
 from repro.schemes.base import Activity, Scheme, Stage
 from repro.schemes.pricing import LatencyModel
-from repro.schemes.split_common import SplitHyperParams
+from repro.schemes.split_common import (
+    SplitHyperParams,
+    price_model_downlink,
+    price_model_uplink,
+)
 
 __all__ = ["ParallelSplitLearning"]
 
@@ -105,6 +108,7 @@ class ParallelSplitLearning(Scheme):
             self.profile,
             self.config.batch_size,
             quantize_bits=self.config.quantize_bits,
+            transport=self.config.transport,
         )
         self._server_opt = self._make_sgd(self.split.server.parameters())
         self._global_client_state = self.split.client.state_dict()
@@ -141,24 +145,29 @@ class ParallelSplitLearning(Scheme):
             return []
         share = pricing.total_bandwidth_hz / len(participants)
         client_model_bytes = pricing.client_model_nbytes(self.cut_layer)
+        codec = pricing.codec
+        lossy = codec.lossy
+        smashed_scalars = pricing.smashed_scalars(self.cut_layer) if lossy else 0
 
         distribution = Stage("distribution")
         if pricing.enabled:
             for c in participants:
-                distribution.add(
+                distribution.extend(
                     f"client-{c}",
-                    Activity(
-                        pricing.downlink_model_demand(c, client_model_bytes, share),
-                        "model_distribution",
-                        f"client-{c}",
-                        nbytes=client_model_bytes,
-                    ),
+                    price_model_downlink(pricing, c, client_model_bytes, share),
                 )
 
         training = Stage("parallel_steps")
         client_states: list[dict[str, np.ndarray]] = []
         total_loss = 0.0
         hp = SplitHyperParams.from_config(cfg)
+        # Every client starts from what the codec preserved of the
+        # broadcast global half (identity codec: the global itself).
+        distributed_state = (
+            codec.apply_state(self._global_client_state)
+            if lossy
+            else self._global_client_state
+        )
 
         # Per-client working copies of the client half, trained in
         # lockstep; the server half is shared and sees the fused batch.
@@ -173,7 +182,7 @@ class ParallelSplitLearning(Scheme):
 
             def state_for(position: int) -> dict[str, np.ndarray]:
                 return (
-                    self._global_client_state if step == 0 else client_states[position]
+                    distributed_state if step == 0 else client_states[position]
                 )
 
             # --- parallel client forwards; smashed data crosses the cut --
@@ -186,10 +195,9 @@ class ParallelSplitLearning(Scheme):
             smashed_per_client = self.executor.map_groups(
                 _client_forward, forward_tasks
             )
-            if pricing.quantize_bits is not None:
+            if lossy:
                 smashed_per_client = [
-                    simulate_wire(values, pricing.quantize_bits)
-                    for values in smashed_per_client
+                    codec.apply(values) for values in smashed_per_client
                 ]
             for c in participants:
                 training.add(
@@ -201,6 +209,16 @@ class ParallelSplitLearning(Scheme):
                         detail="forward",
                     ),
                 )
+                if lossy:
+                    training.add(
+                        f"client-{c}",
+                        Activity(
+                            pricing.client_encode_demand(c, smashed_scalars),
+                            "encode",
+                            f"client-{c}",
+                            detail="smashed",
+                        ),
+                    )
                 training.add(
                     f"client-{c}",
                     Activity(
@@ -208,6 +226,19 @@ class ParallelSplitLearning(Scheme):
                         "uplink_smashed",
                         f"client-{c}",
                         nbytes=pricing.smashed_nbytes(self.cut_layer),
+                    ),
+                )
+            if lossy:
+                # The server decodes all N arrivals before the fused step.
+                training.add(
+                    "edge-server",
+                    Activity(
+                        pricing.server_decode_demand(
+                            smashed_scalars * len(participants)
+                        ),
+                        "decode",
+                        "edge-server",
+                        detail="fused smashed",
                     ),
                 )
 
@@ -219,8 +250,8 @@ class ParallelSplitLearning(Scheme):
                 fused, fused_targets, self._loss_fn
             )
             self._server_opt.step()
-            if pricing.quantize_bits is not None:
-                fused_grad = simulate_wire(fused_grad, pricing.quantize_bits)
+            if lossy:
+                fused_grad = codec.apply(fused_grad)
             total_loss += loss
             # Server compute scales with the fused batch (N x batch).
             training.add(
@@ -234,6 +265,19 @@ class ParallelSplitLearning(Scheme):
                     detail="fused batch",
                 ),
             )
+            if lossy:
+                # One fused encode for all N gradient slices.
+                training.add(
+                    "edge-server",
+                    Activity(
+                        pricing.server_encode_demand(
+                            smashed_scalars * len(participants)
+                        ),
+                        "encode",
+                        "edge-server",
+                        detail="fused gradient",
+                    ),
+                )
 
             # --- gradients fan back out; client halves step in parallel --
             backward_tasks = []
@@ -263,6 +307,16 @@ class ParallelSplitLearning(Scheme):
                         nbytes=pricing.smashed_nbytes(self.cut_layer),
                     ),
                 )
+                if lossy:
+                    training.add(
+                        f"client-{c}",
+                        Activity(
+                            pricing.client_decode_demand(c, smashed_scalars),
+                            "decode",
+                            f"client-{c}",
+                            detail="gradient",
+                        ),
+                    )
                 training.add(
                     f"client-{c}",
                     Activity(
@@ -278,17 +332,15 @@ class ParallelSplitLearning(Scheme):
         upload = Stage("upload")
         if pricing.enabled:
             for c in participants:
-                upload.add(
+                upload.extend(
                     f"client-{c}",
-                    Activity(
-                        pricing.uplink_model_demand(c, client_model_bytes, share),
-                        "model_upload",
-                        f"client-{c}",
-                        nbytes=client_model_bytes,
-                    ),
+                    price_model_uplink(pricing, c, client_model_bytes, share),
                 )
 
         aggregation = Stage("aggregation")
+        if lossy:
+            # The server averages what survived the uplink codec.
+            client_states = [codec.apply_state(s) for s in client_states]
         self._global_client_state = fedavg(
             client_states, self._client_sample_counts(participants)
         )

@@ -33,6 +33,7 @@ from repro.sim.runtime import (
     TransmitLeg,
     demand_lower_bound_s,
 )
+from repro.sim.transport import Float32Codec, IntKCodec, TransportCodec, parse_transport
 from repro.wireless.system import WirelessSystem
 
 __all__ = ["LatencyModel"]
@@ -50,17 +51,32 @@ class LatencyModel:
         profile: ModelProfile | None,
         batch_size: int,
         quantize_bits: int | None = None,
+        transport: str | TransportCodec | None = None,
     ) -> None:
         if (system is None) != (profile is None):
             raise ValueError(
                 "system and profile must be given together (or both omitted)"
             )
-        if quantize_bits is not None and not 1 <= quantize_bits <= 16:
-            raise ValueError(f"quantize_bits must be in [1, 16], got {quantize_bits}")
+        codec = parse_transport(transport) if transport is not None else None
+        if quantize_bits is not None:
+            if not 1 <= quantize_bits <= 16:
+                raise ValueError(
+                    f"quantize_bits must be in [1, 16], got {quantize_bits}"
+                )
+            if codec is None:
+                codec = IntKCodec(quantize_bits)
+            elif not (isinstance(codec, IntKCodec) and codec.num_bits == quantize_bits):
+                raise ValueError(
+                    f"transport {codec.name!r} conflicts with "
+                    f"quantize_bits={quantize_bits}"
+                )
         self.system = system
         self.profile = profile
         self.batch_size = batch_size
-        self.quantize_bits = quantize_bits
+        self.codec: TransportCodec = codec if codec is not None else Float32Codec()
+        self.quantize_bits = (
+            self.codec.num_bits if isinstance(self.codec, IntKCodec) else None
+        )
         # Payload sizes are pure functions of the cut layer but were
         # recomputed from full profile traversals inside every activity of
         # every batch of every round — memoize them per cut.
@@ -136,6 +152,33 @@ class LatencyModel:
         return self._server_compute(flops)
 
     # ------------------------------------------------------------------
+    # transport codec demands (zero for the lossless identity codec)
+    # ------------------------------------------------------------------
+    def client_encode_demand(self, client: int, num_scalars: int) -> Demand:
+        if not self.enabled:
+            return 0.0
+        flops = self.codec.encode_flops(num_scalars)
+        return self._client_compute(client, flops) if flops > 0.0 else 0.0
+
+    def client_decode_demand(self, client: int, num_scalars: int) -> Demand:
+        if not self.enabled:
+            return 0.0
+        flops = self.codec.decode_flops(num_scalars)
+        return self._client_compute(client, flops) if flops > 0.0 else 0.0
+
+    def server_encode_demand(self, num_scalars: int) -> Demand:
+        if not self.enabled:
+            return 0.0
+        flops = self.codec.encode_flops(num_scalars)
+        return self._server_compute(flops) if flops > 0.0 else 0.0
+
+    def server_decode_demand(self, num_scalars: int) -> Demand:
+        if not self.enabled:
+            return 0.0
+        flops = self.codec.decode_flops(num_scalars)
+        return self._server_compute(flops) if flops > 0.0 else 0.0
+
+    # ------------------------------------------------------------------
     # transmission demands
     # ------------------------------------------------------------------
     def _uplink_leg(self, client: int, nbits: float) -> TransmitLeg:
@@ -148,6 +191,7 @@ class LatencyModel:
             rate_fn=lambda hz, _ch=channel, _c=client, _f=fading: _ch.uplink_rate_bps(
                 _c, hz, fading=_f
             ),
+            direction="uplink",
         )
 
     def _downlink_leg(self, client: int, nbits: float) -> TransmitLeg:
@@ -160,6 +204,7 @@ class LatencyModel:
             rate_fn=lambda hz, _ch=channel, _c=client, _f=fading: _ch.downlink_rate_bps(
                 _c, hz, fading=_f
             ),
+            direction="downlink",
         )
 
     def _transmit(self, legs: list[TransmitLeg], nominal_hz: float) -> TransmitDemand:
@@ -232,7 +277,14 @@ class LatencyModel:
         ]
         weakest = clients[int(np.argmin(nominal_rates))]
         return self._transmit(
-            [TransmitLeg(nbits=8 * nbytes, client=weakest, rate_fn=weakest_rate)],
+            [
+                TransmitLeg(
+                    nbits=8 * nbytes,
+                    client=weakest,
+                    rate_fn=weakest_rate,
+                    direction="downlink",
+                )
+            ],
             nominal_hz,
         )
 
@@ -255,13 +307,33 @@ class LatencyModel:
         if cached is not None:
             return cached
         full = self.profile.smashed_bytes(cut_layer, self.batch_size)
-        if self.quantize_bits is None:
+        if not self.codec.lossy:
             nbytes = full
         else:
-            scalars = full // WIRE_BYTES_PER_SCALAR
-            nbytes = int(np.ceil(scalars * self.quantize_bits / 8)) + 8
+            nbytes = self.codec.wire_bytes(full // WIRE_BYTES_PER_SCALAR)
         self._smashed_nbytes[cut_layer] = nbytes
         return nbytes
+
+    def smashed_scalars(self, cut_layer: int) -> int:
+        """Scalar count of one smashed-data batch (codec FLOP input)."""
+        if not self.enabled:
+            return 0
+        full = self.profile.smashed_bytes(cut_layer, self.batch_size)
+        return full // WIRE_BYTES_PER_SCALAR
+
+    def model_scalars(self, nbytes: int) -> int:
+        """Scalar count of a model payload (codec FLOP input)."""
+        return nbytes // WIRE_BYTES_PER_SCALAR
+
+    def model_wire_nbytes(self, nbytes: int) -> int:
+        """Wire size of a model payload whose raw float32 size is ``nbytes``.
+
+        Identity for the lossless codec, so codec-unaware callers (and
+        the golden float32 path) see the raw byte count unchanged.
+        """
+        if not self.enabled or not self.codec.lossy or nbytes == 0:
+            return nbytes
+        return self.codec.wire_bytes(nbytes // WIRE_BYTES_PER_SCALAR)
 
     def client_model_nbytes(self, cut_layer: int) -> int:
         if not self.enabled:

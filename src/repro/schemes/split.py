@@ -15,7 +15,11 @@ from repro import nn
 from repro.nn.split import split_model
 from repro.schemes.base import Activity, Scheme, Stage
 from repro.schemes.pricing import LatencyModel
-from repro.schemes.split_common import split_local_round
+from repro.schemes.split_common import (
+    price_model_downlink,
+    price_model_uplink,
+    split_local_round,
+)
 
 __all__ = ["SplitLearning"]
 
@@ -37,12 +41,29 @@ class SplitLearning(Scheme):
             self.profile,
             self.config.batch_size,
             quantize_bits=self.config.quantize_bits,
+            transport=self.config.transport,
         )
+
+    def _code_client_half(self) -> None:
+        """Round-trip the client half through a lossy wire codec in place.
+
+        ``load_state_dict`` rebinds parameter data without changing
+        parameter identity, so the persistent optimizer keeps stepping
+        the same parameters.
+        """
+        codec = self._pricing.codec
+        if codec.lossy:
+            self.split.client.load_state_dict(
+                codec.apply_state(self.split.client.state_dict())
+            )
 
     def _run_round(self, round_index: int) -> list[Stage]:
         pricing = self._pricing
         bandwidth = pricing.total_bandwidth_hz  # sole transmitter gets all of it
         client_model_bytes = pricing.client_model_nbytes(self.cut_layer)
+        lossy = pricing.codec.lossy
+        wire_bytes = pricing.model_wire_nbytes(client_model_bytes)
+        scalars = pricing.model_scalars(client_model_bytes) if lossy else 0
         participants = self._round_participants()
         if not participants:
             return []
@@ -54,17 +75,13 @@ class SplitLearning(Scheme):
             if position == 0:
                 # Round start: AP sends the client-side model to the first
                 # client (paper §II-A model distribution).
-                stage.add(
+                stage.extend(
                     track,
-                    Activity(
-                        pricing.downlink_model_demand(
-                            client, client_model_bytes, bandwidth
-                        ),
-                        "model_distribution",
-                        f"client-{client}",
-                        nbytes=client_model_bytes,
+                    price_model_downlink(
+                        pricing, client, client_model_bytes, bandwidth
                     ),
                 )
+                self._code_client_half()
             loss, activities = split_local_round(
                 client_id=client,
                 split=self.split,
@@ -81,34 +98,52 @@ class SplitLearning(Scheme):
 
             if position < len(participants) - 1:
                 # Relay the client-side model to the next client via the AP.
+                nxt = participants[position + 1]
+                if lossy:
+                    stage.add(
+                        track,
+                        Activity(
+                            pricing.client_encode_demand(client, scalars),
+                            "encode",
+                            f"client-{client}",
+                            detail="relay model",
+                        ),
+                    )
                 stage.add(
                     track,
                     Activity(
                         pricing.relay_model_demand(
                             client,
-                            participants[position + 1],
-                            client_model_bytes,
+                            nxt,
+                            wire_bytes,
                             bandwidth,
                         ),
                         "model_relay",
                         f"client-{client}",
-                        nbytes=2 * client_model_bytes,
+                        nbytes=2 * wire_bytes,
                     ),
                 )
+                if lossy:
+                    stage.add(
+                        track,
+                        Activity(
+                            pricing.client_decode_demand(nxt, scalars),
+                            "decode",
+                            f"client-{nxt}",
+                            detail="relay model",
+                        ),
+                    )
+                self._code_client_half()
             else:
                 # Last client returns the client-side model to the AP
                 # (paper §II-B-3).
-                stage.add(
+                stage.extend(
                     track,
-                    Activity(
-                        pricing.uplink_model_demand(
-                            client, client_model_bytes, bandwidth
-                        ),
-                        "model_upload",
-                        f"client-{client}",
-                        nbytes=client_model_bytes,
+                    price_model_uplink(
+                        pricing, client, client_model_bytes, bandwidth
                     ),
                 )
+                self._code_client_half()
 
         self._last_train_loss = total_loss / len(participants)
         return [stage]

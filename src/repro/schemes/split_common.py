@@ -31,15 +31,17 @@ import numpy as np
 from repro import nn
 from repro.data.dataset import DataLoader
 from repro.exec import Executor
-from repro.nn.quantize import simulate_wire
 from repro.nn.split import SmashedBatch, SplitModel
 from repro.nn.tensor import Tensor
 from repro.schemes.base import Activity
 from repro.schemes.pricing import LatencyModel
+from repro.sim.transport import IntKCodec, TransportCodec, parse_transport
 
 __all__ = [
     "split_step_math",
     "price_local_round",
+    "price_model_downlink",
+    "price_model_uplink",
     "split_local_round",
     "GroupTask",
     "GroupResult",
@@ -58,6 +60,7 @@ class SplitHyperParams:
     momentum: float = 0.0
     weight_decay: float = 0.0
     quantize_bits: int | None = None
+    transport: str = "float32"
 
     @classmethod
     def from_config(cls, config: "object") -> "SplitHyperParams":
@@ -67,7 +70,16 @@ class SplitHyperParams:
             momentum=config.momentum,
             weight_decay=config.weight_decay,
             quantize_bits=config.quantize_bits,
+            transport=getattr(config, "transport", "float32"),
         )
+
+    @property
+    def codec(self) -> TransportCodec:
+        """The resolved wire codec (``quantize_bits`` is intk sugar)."""
+        codec = parse_transport(self.transport)
+        if not codec.lossy and self.quantize_bits is not None:
+            return IntKCodec(self.quantize_bits)
+        return codec
 
 
 @dataclass
@@ -117,20 +129,21 @@ def split_step_math(
     xb: np.ndarray,
     yb: np.ndarray,
     loss_fn: object,
-    quantize_bits: int | None,
+    codec: TransportCodec | None,
 ) -> float:
     """One batch through the split handshake; returns the batch loss."""
+    lossy = codec is not None and codec.lossy
     smashed = split.client.forward_to_smashed(Tensor(xb))
-    if quantize_bits is not None:
-        # The wire carries quantized activations; the server trains on
-        # exactly what survived quantization.
-        smashed = SmashedBatch(values=simulate_wire(smashed.values, quantize_bits))
+    if lossy:
+        # The wire carries encoded activations; the server trains on
+        # exactly what the codec preserved.
+        smashed = SmashedBatch(values=codec.apply(smashed.values))
 
     server_opt.zero_grad()
     loss_value, smashed_grad, _ = split.server.forward_backward(smashed, yb, loss_fn)
     server_opt.step()
-    if quantize_bits is not None:
-        smashed_grad = simulate_wire(smashed_grad, quantize_bits)
+    if lossy:
+        smashed_grad = codec.apply(smashed_grad)
 
     client_opt.zero_grad()
     split.client.backward_from_gradient(smashed_grad)
@@ -155,6 +168,10 @@ def price_local_round(
     different instantaneous share under a contention-aware policy.
     """
     actor = f"client-{client_id}"
+    # A lossy codec adds encode/decode compute on each side of every hop;
+    # the identity codec adds no activities at all (bitwise-pinned path).
+    lossy = pricing.codec.lossy
+    scalars = pricing.smashed_scalars(cut) if lossy else 0
     activities: list[Activity] = []
     for _ in range(local_steps):
         activities.append(
@@ -165,6 +182,15 @@ def price_local_round(
                 detail="forward",
             )
         )
+        if lossy:
+            activities.append(
+                Activity(
+                    pricing.client_encode_demand(client_id, scalars),
+                    "encode",
+                    actor,
+                    detail="smashed",
+                )
+            )
         activities.append(
             Activity(
                 pricing.uplink_smashed_demand(client_id, cut, bandwidth_hz),
@@ -173,6 +199,15 @@ def price_local_round(
                 nbytes=pricing.smashed_nbytes(cut),
             )
         )
+        if lossy:
+            activities.append(
+                Activity(
+                    pricing.server_decode_demand(scalars),
+                    "decode",
+                    "edge-server",
+                    detail=f"smashed from {actor}",
+                )
+            )
         activities.append(
             Activity(
                 pricing.server_split_step_demand(cut),
@@ -181,6 +216,15 @@ def price_local_round(
                 detail=f"for {actor}",
             )
         )
+        if lossy:
+            activities.append(
+                Activity(
+                    pricing.server_encode_demand(scalars),
+                    "encode",
+                    "edge-server",
+                    detail=f"gradient for {actor}",
+                )
+            )
         activities.append(
             Activity(
                 pricing.downlink_gradient_demand(client_id, cut, bandwidth_hz),
@@ -189,12 +233,108 @@ def price_local_round(
                 nbytes=pricing.smashed_nbytes(cut),
             )
         )
+        if lossy:
+            activities.append(
+                Activity(
+                    pricing.client_decode_demand(client_id, scalars),
+                    "decode",
+                    actor,
+                    detail="gradient",
+                )
+            )
         activities.append(
             Activity(
                 pricing.client_backward_demand(client_id, cut),
                 "client_compute",
                 actor,
                 detail="backward",
+            )
+        )
+    return activities
+
+
+def price_model_downlink(
+    pricing: LatencyModel,
+    client: int,
+    nbytes: int,
+    bandwidth_hz: float,
+    phase: str = "model_distribution",
+) -> list[Activity]:
+    """AP → client model transfer at the codec's wire size.
+
+    With a lossy codec the transfer is bracketed by a server-side encode
+    and a client-side decode; the identity codec emits the bare transfer
+    with the raw byte count (bitwise-pinned path).
+    """
+    actor = f"client-{client}"
+    wire = pricing.model_wire_nbytes(nbytes)
+    activities = []
+    if pricing.codec.lossy:
+        scalars = pricing.model_scalars(nbytes)
+        activities.append(
+            Activity(
+                pricing.server_encode_demand(scalars),
+                "encode",
+                "edge-server",
+                detail=f"model for {actor}",
+            )
+        )
+    activities.append(
+        Activity(
+            pricing.downlink_model_demand(client, wire, bandwidth_hz),
+            phase,
+            actor,
+            nbytes=wire,
+        )
+    )
+    if pricing.codec.lossy:
+        activities.append(
+            Activity(
+                pricing.client_decode_demand(client, scalars),
+                "decode",
+                actor,
+                detail="model",
+            )
+        )
+    return activities
+
+
+def price_model_uplink(
+    pricing: LatencyModel,
+    client: int,
+    nbytes: int,
+    bandwidth_hz: float,
+    phase: str = "model_upload",
+) -> list[Activity]:
+    """Client → AP model transfer at the codec's wire size (see above)."""
+    actor = f"client-{client}"
+    wire = pricing.model_wire_nbytes(nbytes)
+    activities = []
+    if pricing.codec.lossy:
+        scalars = pricing.model_scalars(nbytes)
+        activities.append(
+            Activity(
+                pricing.client_encode_demand(client, scalars),
+                "encode",
+                actor,
+                detail="model upload",
+            )
+        )
+    activities.append(
+        Activity(
+            pricing.uplink_model_demand(client, wire, bandwidth_hz),
+            phase,
+            actor,
+            nbytes=wire,
+        )
+    )
+    if pricing.codec.lossy:
+        activities.append(
+            Activity(
+                pricing.server_decode_demand(scalars),
+                "decode",
+                "edge-server",
+                detail=f"model from {actor}",
             )
         )
     return activities
@@ -221,7 +361,7 @@ def split_local_round(
         xb, yb = loader.sample_batch()
         total_loss += split_step_math(
             split, client_opt, server_opt, xb, yb, loss_fn,
-            pricing.quantize_bits,
+            pricing.codec,
         )
     activities = price_local_round(
         client_id, split.cut_layer, local_steps, pricing, bandwidth_hz
@@ -242,6 +382,14 @@ def train_split_group(task: GroupTask, hp: SplitHyperParams) -> GroupResult:
         split.client.load_state_dict(task.client_state)
     if task.server_state is not None:
         split.server.load_state_dict(task.server_state)
+    codec = hp.codec
+    if codec.lossy:
+        # Model distribution crosses the air: the first member starts
+        # from what the codec preserved of the global client half.  (The
+        # server half is co-located with the edge server — never coded.)
+        # This runs after the backend-specific state handoff, so every
+        # executor sees the identical coded weights.
+        split.client.load_state_dict(codec.apply_state(split.client.state_dict()))
     client_opt = nn.SGD(
         split.client.parameters(),
         lr=hp.lr,
@@ -257,11 +405,18 @@ def train_split_group(task: GroupTask, hp: SplitHyperParams) -> GroupResult:
     loss_fn = nn.CrossEntropyLoss()
 
     loss_sum = 0.0
-    for member_batches in task.batches:
+    for position, member_batches in enumerate(task.batches):
+        if codec.lossy and position > 0:
+            # Client→AP→client relay: the next member receives the coded
+            # client half (parameter identity is preserved, so the live
+            # optimizer keeps stepping the same parameters).
+            split.client.load_state_dict(
+                codec.apply_state(split.client.state_dict())
+            )
         member_loss = 0.0
         for xb, yb in member_batches:
             member_loss += split_step_math(
-                split, client_opt, server_opt, xb, yb, loss_fn, hp.quantize_bits
+                split, client_opt, server_opt, xb, yb, loss_fn, codec
             )
         loss_sum += member_loss / len(member_batches)
 
@@ -269,9 +424,13 @@ def train_split_group(task: GroupTask, hp: SplitHyperParams) -> GroupResult:
     # process results anyway), so exporting views is safe; the substrate
     # never mutates parameter/buffer arrays in place (updates rebind).
     copy = not task.private_replica
+    client_state = split.client.state_dict(copy=copy)
+    if codec.lossy:
+        # The last member uploads its client half over the air.
+        client_state = codec.apply_state(client_state)
     return GroupResult(
         index=task.index,
-        client_state=split.client.state_dict(copy=copy),
+        client_state=client_state,
         server_state=split.server.state_dict(copy=copy),
         weight=task.weight,
         loss_sum=loss_sum,

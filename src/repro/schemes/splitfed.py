@@ -24,6 +24,8 @@ from repro.schemes.split_common import (
     GroupTask,
     SplitHyperParams,
     price_local_round,
+    price_model_downlink,
+    price_model_uplink,
     run_group_tasks,
     train_split_group,
 )
@@ -52,6 +54,7 @@ class SplitFedLearning(AsyncSplitStateMixin, Scheme):
             self.profile,
             self.config.batch_size,
             quantize_bits=self.config.quantize_bits,
+            transport=self.config.transport,
         )
         self._global_client_state = self.split.client.state_dict()
         self._global_server_state = self.split.server.state_dict()
@@ -72,14 +75,9 @@ class SplitFedLearning(AsyncSplitStateMixin, Scheme):
         tasks: list[GroupTask] = []
         for client in participants:
             track = f"client-{client}"
-            training.add(
+            training.extend(
                 track,
-                Activity(
-                    pricing.downlink_model_demand(client, client_model_bytes, share),
-                    "model_distribution",
-                    track,
-                    nbytes=client_model_bytes,
-                ),
+                price_model_downlink(pricing, client, client_model_bytes, share),
             )
             batches = [
                 self.client_loaders[client].sample_batch()
@@ -91,14 +89,9 @@ class SplitFedLearning(AsyncSplitStateMixin, Scheme):
                     client, self.cut_layer, self.config.local_steps, pricing, share
                 ),
             )
-            training.add(
+            training.extend(
                 track,
-                Activity(
-                    pricing.uplink_model_demand(client, client_model_bytes, share),
-                    "model_upload",
-                    track,
-                    nbytes=client_model_bytes,
-                ),
+                price_model_uplink(pricing, client, client_model_bytes, share),
             )
             tasks.append(
                 GroupTask(
@@ -154,15 +147,7 @@ class SplitFedLearning(AsyncSplitStateMixin, Scheme):
         pricing = self._pricing
         share = pricing.total_bandwidth_hz / self.num_clients
         nbytes = pricing.client_model_nbytes(self.cut_layer)
-        track = f"client-{unit}"
-        activities = [
-            Activity(
-                pricing.downlink_model_demand(unit, nbytes, share),
-                "model_distribution",
-                track,
-                nbytes=nbytes,
-            )
-        ]
+        activities = price_model_downlink(pricing, unit, nbytes, share)
         batches = [
             [
                 self.client_loaders[unit].sample_batch()
@@ -174,14 +159,7 @@ class SplitFedLearning(AsyncSplitStateMixin, Scheme):
                 unit, self.cut_layer, self.config.local_steps, pricing, share
             )
         )
-        activities.append(
-            Activity(
-                pricing.uplink_model_demand(unit, nbytes, share),
-                "model_upload",
-                track,
-                nbytes=nbytes,
-            )
-        )
+        activities.extend(price_model_uplink(pricing, unit, nbytes, share))
         task = GroupTask(
             index=unit,
             members=[unit],

@@ -129,11 +129,15 @@ class TransmitLeg:
     ``rate_fn`` maps allocated bandwidth in Hz to an achievable bitrate
     in bit/s, with the hop's block-fading realization frozen inside (the
     draw happened in protocol order when the demand was built).
+    ``direction`` ("uplink"/"downlink", optional) labels the hop for
+    per-leg trace rows, which is what lets the energy model charge a
+    relay's sender TX and receiver RX separately.
     """
 
     nbits: float
     client: int
     rate_fn: Callable[[float], float]
+    direction: str = ""
 
 
 @dataclass(frozen=True)
@@ -394,8 +398,11 @@ class Runtime:
                 progress = _TransferProgress()
                 progress_index = index
             begin = env.now
+            leg_log: list[tuple[TransmitLeg, float, float]] = []
             try:
-                yield from self._perform(act.demand, compute_slowdown, progress)
+                yield from self._perform(
+                    act.demand, compute_slowdown, progress, leg_log
+                )
             except Preemption as failure:
                 outcome.aborts += 1
                 resolution, jump = self._resolve_abort(
@@ -439,15 +446,33 @@ class Runtime:
                 outcome.surrendered_client = failure.client
                 return outcome
             if recorder is not None:
-                recorder.record(
-                    start=begin,
-                    end=env.now,
-                    phase=act.phase,
-                    actor=act.actor,
-                    round_index=round_index,
-                    nbytes=act.nbytes,
-                    detail=act.detail,
-                )
+                legs = getattr(act.demand, "legs", None)
+                if leg_log and legs is not None and len(legs) > 1:
+                    # Multi-leg transmission (client→AP→client relay):
+                    # one row per hop, attributed to the hop's own client
+                    # with its own airtime and payload, so downstream
+                    # accounting (energy, byte totals) can charge the
+                    # sender's TX and the receiver's RX separately.
+                    for leg, leg_start, leg_end in leg_log:
+                        recorder.record(
+                            start=leg_start,
+                            end=leg_end,
+                            phase=act.phase,
+                            actor=f"client-{leg.client}",
+                            round_index=round_index,
+                            nbytes=int(round(leg.nbits / 8)),
+                            detail=leg.direction or act.detail,
+                        )
+                else:
+                    recorder.record(
+                        start=begin,
+                        end=env.now,
+                        phase=act.phase,
+                        actor=act.actor,
+                        round_index=round_index,
+                        nbytes=act.nbytes,
+                        detail=act.detail,
+                    )
             index += 1
         return outcome
 
@@ -509,6 +534,7 @@ class Runtime:
         demand: Demand,
         slowdown: dict[int, float] | None,
         progress: "_TransferProgress | None" = None,
+        leg_log: "list[tuple[TransmitLeg, float, float]] | None" = None,
     ):
         injector = self.failure_injector
         if isinstance(demand, TransmitDemand) and self.medium is not None:
@@ -517,6 +543,7 @@ class Runtime:
             # an armed injector, so the unset-injector path is untouched).
             start_leg = progress.legs_done if progress is not None else 0
             for leg in demand.legs[start_leg:]:
+                leg_begin = self.env.now
                 if injector is not None:
                     yield from self._transfer_preemptible(
                         leg, demand, injector, progress
@@ -528,6 +555,8 @@ class Runtime:
                         rate_fn=leg.rate_fn,
                         nominal=demand.nominal_hz,
                     )
+                if leg_log is not None:
+                    leg_log.append((leg, leg_begin, self.env.now))
             return
         if isinstance(demand, ComputeDemand):
             seconds = demand.base_seconds

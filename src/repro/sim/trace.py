@@ -39,6 +39,8 @@ PHASES = (
     "model_download",
     "aggregation",
     "data_upload",
+    "encode",
+    "decode",
     "wait",
 )
 

@@ -27,7 +27,9 @@ __all__ = ["EnergyModel", "EnergyReport"]
 _CLIENT_TX_PHASES = frozenset({"uplink_smashed", "model_upload", "data_upload"})
 #: phases where the client radio receives
 _CLIENT_RX_PHASES = frozenset({"downlink_gradient", "model_distribution", "model_download"})
-#: relay = uplink + downlink on the client side; charged at TX power
+#: relay = one uplink hop (sender TX) + one downlink hop (receiver RX);
+#: the runtime records one row per hop, tagged ``detail="uplink"`` /
+#: ``"downlink"`` and attributed to that hop's own client
 _CLIENT_RELAY_PHASES = frozenset({"model_relay"})
 #: client busy computing
 _CLIENT_COMPUTE_PHASES = frozenset({"client_compute"})
@@ -106,10 +108,17 @@ class EnergyModel:
             elif event.phase in _CLIENT_RX_PHASES:
                 rx += event.duration
             elif event.phase in _CLIENT_RELAY_PHASES:
-                # relay via the AP: half the airtime transmitting (uplink),
-                # half receiving at the peer; charge this actor TX for the
-                # uplink half
-                tx += event.duration / 2
+                # Per-hop relay rows: the sender's uplink hop is TX for
+                # its full airtime, the receiver's downlink hop is RX for
+                # its full airtime.  An unannotated (legacy combined) row
+                # carries both hops under the sender — charge its uplink
+                # half at TX; the receiver is unidentifiable there.
+                if event.detail == "uplink":
+                    tx += event.duration
+                elif event.detail == "downlink":
+                    rx += event.duration
+                else:
+                    tx += event.duration / 2
             elif event.phase in _CLIENT_COMPUTE_PHASES:
                 comp += event.duration
             else:
@@ -155,7 +164,12 @@ class EnergyModel:
             elif event.phase in _CLIENT_RX_PHASES:
                 power = self.rx_power_w
             elif event.phase in _CLIENT_RELAY_PHASES:
-                power = self.tx_power_w / 2
+                if event.detail == "uplink":
+                    power = self.tx_power_w
+                elif event.detail == "downlink":
+                    power = self.rx_power_w
+                else:
+                    power = self.tx_power_w / 2
             elif event.phase in _CLIENT_COMPUTE_PHASES:
                 power = self.compute_power_w
             else:

@@ -95,8 +95,23 @@ class TestPayload:
         x = np.zeros(1000) + np.arange(1000)
         b8 = quantize_uniform(x, 8).payload_bytes
         b4 = quantize_uniform(x, 4).payload_bytes
-        assert b8 == pytest.approx(1000 + 8)
-        assert b4 == pytest.approx(500 + 8)
+        assert b8 == pytest.approx(1000 + 16)
+        assert b4 == pytest.approx(500 + 16)
+
+    def test_constant_tensor_bills_only_parameters(self):
+        q = quantize_uniform(np.full((64, 64), 2.5), 8)
+        assert q.constant
+        assert q.payload_bytes == QuantizedArray.PARAMS_BYTES
+
+    def test_empty_tensor_bills_only_parameters(self):
+        q = quantize_uniform(np.zeros((0, 3)), 8)
+        assert q.payload_bytes == QuantizedArray.PARAMS_BYTES
+
+    def test_non_finite_rejected(self):
+        for bad in (np.nan, np.inf, -np.inf):
+            x = np.array([1.0, bad, 2.0])
+            with pytest.raises(ValueError, match="non-finite"):
+                quantize_uniform(x, 8)
 
     def test_simulate_wire_none_is_identity(self):
         x = np.random.default_rng(0).normal(size=(4, 4))

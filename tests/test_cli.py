@@ -200,13 +200,39 @@ class TestCommands:
         assert code == 2
         assert "synchronous aggregation" in capsys.readouterr().err
 
+    def test_unknown_transport_is_a_clean_config_error(self, capsys):
+        code = main(
+            ["run", "--scale", "fast", "--scheme", "GSFL", "--rounds", "1",
+             "--transport", "gzip"]
+        )
+        assert code == 2
+        assert "unknown transport" in capsys.readouterr().err
+
+    def test_transport_conflicting_quantize_bits_is_a_clean_config_error(
+        self, capsys
+    ):
+        code = main(
+            ["run", "--scale", "fast", "--scheme", "GSFL", "--rounds", "1",
+             "--transport", "topk:0.1", "--quantize-bits", "8"]
+        )
+        assert code == 2
+        assert "conflicts with quantize_bits" in capsys.readouterr().err
+
+    def test_run_with_int8_transport(self, capsys):
+        code = main(
+            ["run", "--scale", "fast", "--scheme", "SplitFed", "--rounds", "1",
+             "--transport", "int8"]
+        )
+        assert code == 0
+
 
 #: exact key sets of every ``--trace-out`` JSONL record type
 TRACE_SCHEMAS = {
     "meta": {
-        "type", "scheme", "rounds", "medium", "aggregation", "failure_model",
-        "grouping", "regroup", "regroup_every", "num_clients",
-        "total_latency_s", "events", "aborts", "retries", "regroups",
+        "type", "scheme", "rounds", "medium", "transport", "aggregation",
+        "failure_model", "grouping", "regroup", "regroup_every",
+        "num_clients", "total_latency_s", "events", "aborts", "retries",
+        "regroups",
     },
     "activity": {
         "type", "start_s", "end_s", "duration_s", "phase", "actor", "round",
@@ -278,6 +304,37 @@ class TestTraceRoundTrip:
         rows = self._rows(tmp_path, ["--scheme", "FL", "--aggregation", "async"])
         self._check_schemas(rows)
         assert [r for r in rows if r["type"] == "aggregation_update"]
+
+    def test_float32_transport_trace_has_no_codec_rows(self, tmp_path, capsys):
+        rows = self._rows(tmp_path, ["--scheme", "GSFL"])
+        assert rows[0]["transport"] == "float32"
+        phases = {r["phase"] for r in rows if r["type"] == "activity"}
+        assert "encode" not in phases and "decode" not in phases
+
+    @pytest.mark.parametrize("scheme", ["GSFL", "SplitFed", "SL", "PSL", "FL"])
+    def test_int8_transport_trace_codec_rows(self, tmp_path, capsys, scheme):
+        """A lossy codec prices encode/decode on the trace and shrinks
+        the bytes shipped across every transmit phase ~4x vs float32."""
+        base = self._rows(tmp_path, ["--scheme", scheme])
+        rows = self._rows(tmp_path, ["--scheme", scheme, "--transport", "int8"])
+        self._check_schemas(rows)
+        assert rows[0]["transport"] == "int8"
+        acts = [r for r in rows if r["type"] == "activity"]
+        assert [r for r in acts if r["phase"] == "encode"]
+        assert [r for r in acts if r["phase"] == "decode"]
+
+        def wire_bytes(trace_rows):
+            transmit = {
+                "model_distribution", "uplink_smashed", "downlink_gradient",
+                "model_relay", "model_upload", "model_download",
+            }
+            return sum(
+                r["nbytes"] for r in trace_rows
+                if r["type"] == "activity" and r["phase"] in transmit
+            )
+
+        shrink = wire_bytes(base) / wire_bytes(rows)
+        assert 3.0 < shrink < 4.1
 
     def test_round_failure_model_trace_has_no_abort_rows(self, tmp_path, capsys):
         rows = self._rows(

@@ -83,13 +83,20 @@ class TestCrossSchemeConservation:
         assert totals["SL"] == totals["GSFL"]
 
     def test_gsfl_relays_fewer_hops_than_sl(self):
-        """GSFL relays within groups only: M fewer hops than SL's chain."""
+        """GSFL relays within groups only: M fewer hops than SL's chain.
+
+        Each relay is recorded per leg (uplink to the AP, downlink to the
+        next client), so a relay contributes two trace rows.
+        """
         counts = {}
         for name in ("SL", "GSFL"):
             built = fast_scenario(with_wireless=True).build()
             scheme = make_scheme(name, built)
             scheme.run(1)
-            counts[name] = len(scheme.recorder.filter(phases=["model_relay"]))
+            rows = scheme.recorder.filter(phases=["model_relay"])
+            uplinks = [r for r in rows if r.detail == "uplink"]
+            assert len(rows) == 2 * len(uplinks)
+            counts[name] = len(uplinks)
         n = 6
         m = 2
         assert counts["SL"] == n - 1

@@ -15,7 +15,9 @@ def make_trace():
     rec.record(0.0, 2.0, "client_compute", "client-0", 0)
     rec.record(2.0, 3.0, "uplink_smashed", "client-0", 0, nbytes=100)
     rec.record(3.0, 3.5, "downlink_gradient", "client-0", 0, nbytes=100)
-    rec.record(3.5, 4.5, "model_relay", "client-0", 0, nbytes=200)
+    # relay = two per-hop rows: sender uplink, receiver downlink
+    rec.record(3.5, 4.5, "model_relay", "client-0", 0, nbytes=100, detail="uplink")
+    rec.record(4.5, 5.25, "model_relay", "client-1", 0, nbytes=100, detail="downlink")
     rec.record(0.0, 1.0, "server_compute", "edge-server", 0)
     return rec
 
@@ -26,10 +28,27 @@ class TestEnergyModel:
                             idle_power_w=0.0)
         report = model.client_energy(make_trace(), "client-0")
         assert report.compute_j == pytest.approx(2.0 * 2.0)
-        # tx: 1s uplink + 0.5s relay (half of 1s) at 1 W
-        assert report.tx_j == pytest.approx(1.0 + 0.5)
+        # tx: 1s uplink + 1s relay uplink hop at 1 W
+        assert report.tx_j == pytest.approx(1.0 + 1.0)
         assert report.rx_j == pytest.approx(0.5 * 0.5)
         assert report.idle_j == 0.0
+
+    def test_relay_receiver_charged_rx(self):
+        """The receiving side of a relay pays RX for its own hop airtime."""
+        model = EnergyModel(tx_power_w=1.0, rx_power_w=0.5, compute_power_w=2.0,
+                            idle_power_w=0.0)
+        report = model.client_energy(make_trace(), "client-1")
+        assert report.tx_j == 0.0
+        assert report.rx_j == pytest.approx(0.5 * 0.75)
+
+    def test_legacy_combined_relay_row_still_priced(self):
+        """An unannotated relay row keeps the old half-airtime TX charge."""
+        rec = TraceRecorder()
+        rec.record(0.0, 1.0, "model_relay", "client-0", 0, nbytes=200)
+        model = EnergyModel(tx_power_w=1.0, idle_power_w=0.0)
+        report = model.client_energy(rec, "client-0")
+        assert report.tx_j == pytest.approx(0.5)
+        assert model.energy_by_round(rec)[0] == pytest.approx(0.5)
 
     def test_idle_accounting(self):
         model = EnergyModel(idle_power_w=0.1)
