@@ -375,7 +375,67 @@ def runtime_report(quick: bool, profile: bool = False) -> dict:
     report["failures"] = failure_model_report(quick)
     report["grouping"] = grouping_report(quick)
     report["transport"] = transport_report(quick)
+    report["catalog"] = catalog_report(quick)
     report["scale"] = scale_report(quick, profile=profile)
+    return report
+
+
+def catalog_report(quick: bool) -> dict:
+    """One pinned bench row per catalog scenario, plus a replay check.
+
+    Every registered fast-scale world (the paper-scale preset is skipped
+    for cost) runs GSFL and FL for the same round budget, so scheme
+    comparisons across scenarios become one table: total DES latency,
+    accuracy, and the abort/retry fault ledger per world.  The section
+    closes with a record→replay round trip — a churn run is exported via
+    the JSONL trace format and re-driven through
+    ``--scenario replay:<path>`` — asserting the per-round availability
+    and participant sets reproduce exactly.
+    """
+    import os
+    import tempfile
+
+    from repro.cli import _export_trace
+    from repro.experiments.catalog import get_scenario, list_scenarios
+    from repro.experiments.runner import make_scheme
+
+    rounds = 1 if quick else 2
+    schemes = ("GSFL", "FL")
+    report: dict = {"rounds": rounds, "schemes": list(schemes), "worlds": {}}
+    for entry in list_scenarios():
+        if entry.name == "paper":
+            continue  # paper-scale fleet: too costly for the smoke table
+        row: dict = {"tags": list(entry.tags)}
+        for scheme_name in schemes:
+            scheme = make_scheme(scheme_name, get_scenario(entry.name).build())
+            history = scheme.run(rounds)
+            row[scheme_name] = {
+                "total_latency_s": history.total_latency_s,
+                "final_accuracy": history.final_accuracy,
+                "aborts": len(scheme.recorder.aborts),
+                "retries": len(scheme.recorder.retries),
+            }
+            label = f"{scheme_name} @ {entry.name}"
+            print(f"{label:>24}: total {history.total_latency_s:8.3f} s, "
+                  f"acc {history.final_accuracy:.3f}, "
+                  f"aborts {row[scheme_name]['aborts']}")
+        report["worlds"][entry.name] = row
+
+    # Record→replay round trip on the churn world.
+    recorded = make_scheme("GSFL", get_scenario("churn").build())
+    recorded.run(rounds)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trace.jsonl")
+        _export_trace(path, recorded, scenario_name="churn")
+        replayed = make_scheme("GSFL", get_scenario(f"replay:{path}").build())
+        replayed.run(rounds)
+    conditions = lambda scheme: [  # noqa: E731
+        (rc.round_index, rc.available, rc.participants)
+        for rc in scheme.dynamics.round_log
+    ]
+    exact = conditions(recorded) == conditions(replayed)
+    report["replay_roundtrip_exact"] = bool(exact)
+    print(f"{'replay roundtrip':>24}: {'exact' if exact else 'DIVERGED'}")
     return report
 
 

@@ -13,6 +13,11 @@ Usage::
     python -m repro.cli run --scheme GSFL --grouping compute_balanced
     python -m repro.cli run --scheme GSFL --churn-uptime 0.15 --churn-downtime 0.05 \\
         --failure-model mid-activity --regroup availability_aware --regroup-every 1
+    python -m repro.cli scenarios
+    python -m repro.cli scenarios diurnal
+    python -m repro.cli run --scenario cell-outage --scheme GSFL --rounds 5
+    python -m repro.cli run --scenario churn --scheme GSFL --trace-out trace.jsonl
+    python -m repro.cli run --scenario replay:trace.jsonl --scheme GSFL
     python -m repro.cli cuts
     python -m repro.cli info
 
@@ -30,6 +35,7 @@ import sys
 from repro.core.grouping import GROUPING_STRATEGIES
 from repro.core.regroup import REGROUP_POLICIES
 from repro.exec import EXECUTOR_KINDS, Executor, make_executor
+from repro.experiments.catalog import describe_scenario, get_scenario, list_scenarios
 from repro.experiments.dynamics import FAILURE_MODELS, DynamicsConfig
 from repro.experiments.figures import run_fig2a, run_fig2b
 from repro.experiments.runner import SCHEME_REGISTRY, make_scheme
@@ -65,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("fast", "paper"),
         default="paper",
         help="scenario preset (fast: 6 clients/10 classes; paper: 30/43)",
+    )
+    common.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="catalog scenario (takes precedence over --scale): a name "
+        "from `repro.cli scenarios`, or replay:<trace.jsonl> to re-drive "
+        "availability from a recorded --trace-out file",
     )
     common.add_argument(
         "--train-per-class", type=int, default=None,
@@ -195,6 +207,15 @@ def build_parser() -> argparse.ArgumentParser:
         "summary (and per-update staleness under async aggregation) as JSONL",
     )
 
+    pscen = sub.add_parser(
+        "scenarios", parents=[common],
+        help="list the scenario catalog (or describe one world)",
+    )
+    pscen.add_argument(
+        "name", nargs="?", default=None,
+        help="scenario to describe (omit to list the whole catalog)",
+    )
+
     sub.add_parser("cuts", parents=[common], help="cut-layer latency sweep")
     sub.add_parser("info", parents=[common], help="print the scenario summary")
     return parser
@@ -203,7 +224,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _scenario(args: argparse.Namespace):
     from dataclasses import replace
 
-    if args.scale == "fast":
+    if getattr(args, "scenario", None):
+        scenario = get_scenario(args.scenario, seed=args.seed)
+    elif args.scale == "fast":
         scenario = fast_scenario(with_wireless=True, seed=args.seed)
     else:
         scenario = paper_scenario(with_wireless=True, seed=args.seed)
@@ -245,11 +268,20 @@ def _dynamics_config(args: argparse.Namespace) -> DynamicsConfig | None:
     )
 
 
-def _export_trace(path: str, scheme: "object") -> None:
-    """Write the run's per-activity trace + energy summary as JSONL."""
+def _export_trace(path: str, scheme: "object", scenario_name: "str | None" = None) -> None:
+    """Write the run's per-activity trace + energy summary as JSONL.
+
+    The export doubles as a trace-*in* format: the ``meta`` row carries
+    the full dynamics config (and scenario name/seed), and per-client
+    ``availability`` rows record the realized churn toggle streams, so
+    ``--scenario replay:<path>`` can re-drive the same fleet history.
+    """
+    from dataclasses import asdict
+
     from repro.wireless.energy import EnergyModel, EnergyReport
 
     recorder = scheme.recorder
+    dynamics = scheme.dynamics
     total_span = scheme.runtime.now
     energy = EnergyModel()
     with open(path, "w") as fh:
@@ -260,6 +292,8 @@ def _export_trace(path: str, scheme: "object") -> None:
             {
                 "type": "meta",
                 "scheme": scheme.name,
+                "scenario": scenario_name,
+                "seed": scheme.config.seed,
                 "rounds": len(scheme.round_timings),
                 "medium": scheme.config.medium,
                 "transport": scheme.config.transport,
@@ -269,6 +303,8 @@ def _export_trace(path: str, scheme: "object") -> None:
                 "regroup": scheme.config.regroup,
                 "regroup_every": scheme.config.regroup_every,
                 "num_clients": scheme.num_clients,
+                "num_groups": getattr(scheme, "num_groups", None),
+                "dynamics": asdict(dynamics.config) if dynamics is not None else None,
                 "total_latency_s": total_span,
                 "events": len(recorder),
                 "aborts": len(recorder.aborts),
@@ -276,6 +312,27 @@ def _export_trace(path: str, scheme: "object") -> None:
                 "regroups": len(recorder.regroups),
             }
         )
+        if dynamics is not None and dynamics.config.has_churn:
+            for c in range(dynamics.num_clients):
+                emit(
+                    {
+                        "type": "availability",
+                        "client": c,
+                        "toggles": dynamics.availability_toggles(c, total_span),
+                    }
+                )
+        if dynamics is not None:
+            for rc in dynamics.round_log:
+                emit(
+                    {
+                        "type": "round_conditions",
+                        "round": rc.round_index,
+                        "time_s": rc.now_s,
+                        "available": list(rc.available),
+                        "participants": list(rc.participants),
+                        "slowdowns": {str(k): v for k, v in rc.slowdowns.items()},
+                    }
+                )
         for row in recorder.to_rows():
             emit(row)
         for row in recorder.abort_rows():
@@ -411,7 +468,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if args.regroup is not None or args.regroup_every != 1:
                 overrides["regroup_every"] = args.regroup_every
             scenario.scheme = replace(scenario.scheme, **overrides)
-        scenario.dynamics = _dynamics_config(args)
+        # Explicit dynamics flags override the scenario; all-default
+        # flags leave a catalog world's own dynamics in place.
+        dynamics = _dynamics_config(args)
+        if dynamics is not None:
+            scenario.dynamics = dynamics
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -429,7 +490,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print()
     print(history.summary())
     if args.trace_out:
-        _export_trace(args.trace_out, scheme)
+        _export_trace(args.trace_out, scheme, scenario_name=args.scenario or args.scale)
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.name:
+        try:
+            print(describe_scenario(args.name, seed=args.seed))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    entries = list_scenarios()
+    width = max(len(e.name) for e in entries)
+    print(f"{'name':<{width}}  {'tags':<26} summary")
+    for e in entries:
+        print(f"{e.name:<{width}}  {', '.join(e.tags):<26} {e.summary}")
+    print(f"\nreplay:<trace.jsonl>  re-drive availability from a recorded "
+          f"--trace-out file")
     return 0
 
 
@@ -470,6 +549,7 @@ _COMMANDS = {
     "fig2a": _cmd_fig2a,
     "fig2b": _cmd_fig2b,
     "run": _cmd_run,
+    "scenarios": _cmd_scenarios,
     "cuts": _cmd_cuts,
     "info": _cmd_info,
 }

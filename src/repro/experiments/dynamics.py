@@ -6,7 +6,11 @@ resolved against the runtime's *absolute* clock so a long round genuinely
 sees more churn than a short one:
 
 * **availability churn** — each client alternates between up and down
-  windows (exponential on/off renewal process, frozen per seed); clients
+  windows, driven by a pluggable
+  :class:`~repro.experiments.availability.AvailabilityProcess` (the
+  default is the historical per-client exponential on/off renewal
+  process; diurnal waves, correlated cell outages, handoff gaps and
+  trace replay are selected by ``DynamicsConfig.availability``); clients
   that are down when a round starts sit the round out;
 * **partial participation** — of the available clients, only a sampled
   fraction joins each round (the classic cross-device FL setting);
@@ -35,11 +39,16 @@ dynamics replay identically for a fixed seed regardless of scheme.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.experiments.availability import (
+    make_availability_process,
+    parse_availability,
+)
 from repro.utils.validation import check_in_choices, check_non_negative, check_positive
 
 __all__ = ["FAILURE_MODELS", "DynamicsConfig", "RoundConditions", "ClientDynamics"]
@@ -53,7 +62,10 @@ class DynamicsConfig:
     """Declarative description of client-population dynamics.
 
     Defaults are the identity: everyone always available, everyone
-    participates, nobody straggles.
+    participates, nobody straggles.  ``availability`` selects the churn
+    process shape (see :mod:`repro.experiments.availability`):
+    ``"exponential"`` (default), ``"diurnal[:PERIOD[:AMP]]"``,
+    ``"cells[:K]"``, ``"handoff"``, or ``"trace:<trace.jsonl>"``.
     """
 
     participation: float = 1.0
@@ -65,6 +77,7 @@ class DynamicsConfig:
     failure_model: str = "round"
     max_retries: int = 2
     seed: int = 0
+    availability: str = "exponential"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -100,6 +113,12 @@ class DynamicsConfig:
         check_non_negative("min_participants", self.min_participants)
         check_in_choices("failure_model", self.failure_model, FAILURE_MODELS)
         check_non_negative("max_retries", self.max_retries)
+        spec = parse_availability(self.availability)
+        if spec.needs_windows and self.churn_uptime_s is None:
+            raise ValueError(
+                f"availability {self.availability!r} requires churn windows "
+                f"(churn_uptime_s / churn_downtime_s)"
+            )
         return self
 
     @property
@@ -109,9 +128,14 @@ class DynamicsConfig:
         ``failure_model="none"`` switches the churn trace off wholesale —
         clients are treated as always up — so the one knob cleanly covers
         every query path (round membership, recovery scans, preemption
-        deadlines).
+        deadlines).  A trace-replay spec carries its own toggle streams
+        and needs no windows.
         """
-        return self.churn_uptime_s is not None and self.failure_model != "none"
+        if self.failure_model == "none":
+            return False
+        if self.availability.startswith("trace:"):
+            return True
+        return self.churn_uptime_s is not None
 
 
 @dataclass(frozen=True)
@@ -122,6 +146,8 @@ class RoundConditions:
     available: tuple[int, ...]
     participants: tuple[int, ...]
     slowdowns: dict[int, float] = field(default_factory=dict)
+    #: absolute simulated time the round's conditions were resolved at
+    now_s: float = 0.0
 
 
 class ClientDynamics:
@@ -130,7 +156,9 @@ class ClientDynamics:
     :meth:`begin_round` must be called per round, in order — the base
     scheme loop owns that contract (including the one re-resolution it
     performs after waiting out an all-down churn window) — so the random
-    streams are consumed deterministically.
+    streams are consumed deterministically.  Every resolution is appended
+    to :attr:`round_log` (re-resolutions included) for diagnostics and
+    trace export.
     """
 
     def __init__(self, config: DynamicsConfig, num_clients: int) -> None:
@@ -139,53 +167,89 @@ class ClientDynamics:
         self.num_clients = num_clients
         root = np.random.SeedSequence([config.seed, 0xD15C])
         avail_seed, part_seed, strag_seed = root.spawn(3)
-        # One generator per client: lazy trace extension stays
-        # deterministic no matter which client is queried first.
-        self._avail_rngs = [
-            np.random.default_rng(s) for s in avail_seed.spawn(num_clients)
-        ]
+        # The availability process owns the per-client toggle streams
+        # (None = identity: always up).  It spawns its generators off the
+        # availability seed branch, so the default exponential process
+        # consumes randomness exactly as the historical inline loop did.
+        self._process = make_availability_process(
+            config.availability,
+            num_clients,
+            avail_seed,
+            config.churn_uptime_s,
+            config.churn_downtime_s,
+        )
         self._part_rng = np.random.default_rng(part_seed)
         self._strag_rng = np.random.default_rng(strag_seed)
-        # Per-client sorted toggle times; state before the first toggle is
-        # "up", flipping at every entry.
-        self._toggles: list[list[float]] = [[] for _ in range(num_clients)]
+        self.round_log: list[RoundConditions] = []
 
     # ------------------------------------------------------------------
     # availability trace
     # ------------------------------------------------------------------
+    def _covered_toggles(self, client: int, t: float) -> list[float]:
+        """The client's toggle stream with coverage ensured past ``t``.
+
+        A finite (trace-replay) process may return a stream ending at or
+        before ``t`` — the client then keeps its final state, and callers
+        must bounds-check their ``bisect`` index.
+        """
+        return self._process.toggles(client, t)
+
     def available_at(self, client: int, t: float) -> bool:
         """Whether ``client`` is up at absolute time ``t``."""
         if not self.config.has_churn:
             return True
-        toggles = self._toggles[client]
-        rng = self._avail_rngs[client]
-        up, down = self.config.churn_uptime_s, self.config.churn_downtime_s
-        while not toggles or toggles[-1] <= t:
-            last = toggles[-1] if toggles else 0.0
-            window = up if len(toggles) % 2 == 0 else down
-            toggles.append(last + float(rng.exponential(window)))
+        toggles = self._covered_toggles(client, t)
         return bisect_right(toggles, t) % 2 == 0
 
     def availability_windows(self, client: int, until: float) -> list[tuple[float, float]]:
-        """Up-windows of ``client`` clipped to ``[0, until]`` (diagnostics)."""
-        self.available_at(client, until)  # ensure the trace covers `until`
-        edges = [0.0] + [t for t in self._toggles[client] if t < until] + [until]
+        """Up-windows of ``client`` clipped to ``[0, until]`` (diagnostics).
+
+        Windows are half-open ``[start, end)``, matching the
+        ``bisect_right`` semantics of :meth:`available_at` (a toggle *at*
+        ``t`` counts as flipped).  A recovery toggle landing exactly at
+        ``until`` therefore contributes a zero-length ``(until, until)``
+        window rather than being dropped, so ``available_at(c, until)``
+        is true iff ``until`` lies in (or starts) some reported window.
+        """
+        if not self.config.has_churn:
+            return [(0.0, until)]
+        kept = [t for t in self._covered_toggles(client, until) if t <= until]
+        edges = [0.0] + kept
+        if len(kept) % 2 == 0:
+            # Even toggle count = up at `until`: close the open window.
+            edges.append(until)
         return [
             (edges[i], edges[i + 1]) for i in range(0, len(edges) - 1, 2)
         ]
 
+    def availability_toggles(self, client: int, horizon: float) -> list[float]:
+        """Toggle stream of ``client`` clipped to ``[0, horizon]``.
+
+        This is the trace-export form: replaying the clipped stream via
+        ``availability="trace:..."`` reproduces :meth:`available_at`
+        exactly for every ``t <= horizon`` (the clip keeps toggles
+        landing exactly on the horizon, mirroring ``bisect_right``).
+        """
+        if not self.config.has_churn:
+            return []
+        return [t for t in self._covered_toggles(client, horizon) if t <= horizon]
+
     def next_failure_s(self, client: int, t: float) -> float | None:
         """Absolute instant the current up-window of ``client`` closes.
 
-        ``None`` without churn or when the client is already down at
-        ``t`` (there is no up-window to close).  This is the preemption
-        deadline the mid-activity failure model races in-flight
-        activities against.
+        ``None`` without churn, when the client is already down at ``t``
+        (there is no up-window to close), or when a finite replay trace
+        records no further toggle (the client stays up for the rest of
+        the run).  This is the preemption deadline the mid-activity
+        failure model races in-flight activities against.
         """
         if not self.config.has_churn or not self.available_at(client, t):
             return None
-        toggles = self._toggles[client]
-        return toggles[bisect_right(toggles, t)]
+        toggles = self._covered_toggles(client, t)
+        idx = bisect_right(toggles, t)
+        if idx >= len(toggles):
+            return None
+        return toggles[idx]
 
     def next_recovery_s(self, t: float, clients: "list[int] | None" = None) -> float | None:
         """Earliest absolute time after ``t`` at which a currently-down
@@ -193,14 +257,18 @@ class ClientDynamics:
         down).  The scheme driver uses this to wait out an all-down
         window instead of freezing the clock on a zero-cost round;
         ``clients`` restricts the scan to one unit's members (async
-        pipelines wait only for their own group)."""
+        pipelines wait only for their own group).  A client whose finite
+        replay trace ends in a down state never recovers and contributes
+        no candidate."""
         if not self.config.has_churn:
             return None
         candidates = []
         for c in range(self.num_clients) if clients is None else clients:
             if not self.available_at(c, t):
-                toggles = self._toggles[c]
-                candidates.append(toggles[bisect_right(toggles, t)])
+                toggles = self._covered_toggles(c, t)
+                idx = bisect_right(toggles, t)
+                if idx < len(toggles):
+                    candidates.append(toggles[idx])
         return min(candidates) if candidates else None
 
     # ------------------------------------------------------------------
@@ -213,7 +281,11 @@ class ClientDynamics:
             c for c in range(self.num_clients) if self.available_at(c, now_s)
         )
         if cfg.participation < 1.0 and available:
-            k = int(round(cfg.participation * len(available)))
+            # Round half away from zero: floor(p*n + 0.5).  Plain round()
+            # banker's-rounds half-cases to even (0.5 * 5 available -> 2),
+            # making the sampled fraction dip inconsistently with fleet
+            # size; half-cases now always round up.
+            k = int(math.floor(cfg.participation * len(available) + 0.5))
             k = min(len(available), max(k, min(cfg.min_participants, len(available)), 1))
             picked = self._part_rng.choice(len(available), size=k, replace=False)
             participants = tuple(sorted(available[i] for i in picked))
@@ -224,12 +296,15 @@ class ClientDynamics:
             for c in participants:
                 if self._strag_rng.random() < cfg.straggler_rate:
                     slowdowns[c] = cfg.straggler_slowdown
-        return RoundConditions(
+        conditions = RoundConditions(
             round_index=round_index,
             available=available,
             participants=participants,
             slowdowns=slowdowns,
+            now_s=now_s,
         )
+        self.round_log.append(conditions)
+        return conditions
 
     def unit_round_conditions(
         self, members: "list[int]", now_s: float
@@ -244,7 +319,10 @@ class ClientDynamics:
         least one, so a unit cannot stall on sampling alone and low
         participation is not biased toward the first member); stragglers
         draw as usual.  Draws consume the shared generators in DES event
-        order — deterministic for a fixed seed.
+        order — deterministic for a fixed seed.  The returned list always
+        preserves the *caller's member order* (meaningful for GSFL relay
+        chains), whether or not the top-up fired — downstream iteration
+        order must not depend on which sampling path ran.
         """
         cfg = self.config
         present = [c for c in members if self.available_at(c, now_s)]
@@ -258,7 +336,8 @@ class ClientDynamics:
                 picked = self._part_rng.choice(
                     len(remaining), size=floor - len(sampled), replace=False
                 )
-                sampled = sorted(sampled + [remaining[i] for i in picked])
+                chosen = set(sampled).union(remaining[i] for i in picked)
+                sampled = [c for c in present if c in chosen]
             present = sampled
         slowdowns: dict[int, float] = {}
         if cfg.straggler_rate > 0.0:

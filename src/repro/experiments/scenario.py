@@ -29,6 +29,7 @@ from repro.data.partition import (
 from repro.experiments.dynamics import ClientDynamics, DynamicsConfig
 from repro.models.registry import build_model, default_cut_layer
 from repro.schemes.base import SchemeConfig
+from repro.sim.cross_traffic import CrossTrafficConfig
 from repro.utils.validation import check_in_choices, check_positive
 from repro.wireless.system import WirelessConfig, WirelessSystem
 
@@ -51,6 +52,7 @@ class ExperimentScenario:
     wireless: WirelessConfig | None = field(default_factory=WirelessConfig)
     scheme: SchemeConfig = field(default_factory=SchemeConfig)
     dynamics: DynamicsConfig | None = None
+    cross_traffic: CrossTrafficConfig | None = None
     model_seed: int = 0
 
     def __post_init__(self) -> None:
@@ -146,6 +148,7 @@ class BuiltScenario:
             "profile": self.profile,
             "config": self.scenario.scheme,
             "dynamics": dynamics,
+            "cross_traffic": self.scenario.cross_traffic,
         }
 
 

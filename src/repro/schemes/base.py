@@ -34,6 +34,7 @@ from repro.data.dataset import DataLoader, Dataset
 from repro.exec import Executor, SerialExecutor
 from repro.metrics.evaluate import evaluate_model
 from repro.metrics.history import TrainingHistory
+from repro.sim.cross_traffic import CrossTrafficConfig, start_cross_traffic
 from repro.sim.failures import FailureInjector
 from repro.sim.runtime import (
     Demand,
@@ -308,6 +309,7 @@ class Scheme:
         recorder: TraceRecorder | None = None,
         executor: Executor | None = None,
         dynamics: "ClientDynamics | None" = None,
+        cross_traffic: "CrossTrafficConfig | None" = None,
     ) -> None:
         if not client_datasets:
             raise ValueError("need at least one client dataset")
@@ -325,6 +327,19 @@ class Scheme:
         self.dynamics = dynamics
         self.history = TrainingHistory(scheme=self.name)
         self.runtime = self._make_runtime()
+        # Background cross-traffic competes with the protocol's flows for
+        # raw link capacity (scenario-catalog worlds); None leaves the
+        # medium untouched, so every historical run is byte-for-byte
+        # unaffected.
+        self.cross_traffic = cross_traffic
+        if cross_traffic is not None and self.runtime.medium is not None:
+            if self.config.medium != "static":
+                raise ValueError(
+                    "cross-traffic requires the 'static' medium: allocator-"
+                    "backed contended policies index flows by client id and "
+                    "cannot host anonymous background transmitters"
+                )
+            start_cross_traffic(self.runtime, cross_traffic)
         # Mid-activity failure model: arm the runtime's preemption source.
         # ``none``/``round`` leave the injector unset, so demand
         # resolution is event-for-event identical to the historical path

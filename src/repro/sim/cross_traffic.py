@@ -1,0 +1,80 @@
+"""Background cross-traffic on the shared wireless medium.
+
+The DES medium only ever carried the training protocol's own flows; a
+real cell also serves everyone else.  This module arms *background burst
+sources* on a runtime's :class:`~repro.sim.resources.FairShareLink`:
+each source idles for an exponential gap, then ships one burst that
+declares a nominal share of ``load × capacity``.  While a burst overlaps
+foreground transmissions the static (:class:`NominalShare`) policy's
+declared loads oversubscribe the link, and every flow — foreground
+included — is proportionally squeezed, exactly the transient congestion
+bursty neighbours inflict on a training round.
+
+Sources are plain DES processes on the scheme's persistent environment;
+the kernel only runs until the scheme's own completion events, so
+perpetual background generators are safe (pending burst events die with
+the run).  Cross-traffic requires the ``static`` medium policy:
+allocator-backed contended policies index flows by client id and have no
+notion of an anonymous background transmitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["CrossTrafficConfig", "start_cross_traffic"]
+
+
+@dataclass(frozen=True)
+class CrossTrafficConfig:
+    """Declarative description of background link load.
+
+    ``load`` is each burst's declared nominal share as a fraction of the
+    link capacity; ``burst_bits / (load * capacity)`` is a burst's
+    uncontended duration, and ``mean_idle_s`` the mean exponential gap
+    between one source's bursts.
+    """
+
+    num_sources: int = 1
+    mean_idle_s: float = 0.1
+    burst_bits: float = 2e6
+    load: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("num_sources", self.num_sources)
+        check_positive("mean_idle_s", self.mean_idle_s)
+        check_positive("burst_bits", self.burst_bits)
+        if not 0.0 < self.load <= 1.0:
+            raise ValueError(f"load must be in (0, 1], got {self.load}")
+
+
+def _burst_source(env, medium, rng: np.random.Generator, config: CrossTrafficConfig):
+    nominal_bps = config.load * medium.capacity_bps
+    while True:
+        yield env.timeout(float(rng.exponential(config.mean_idle_s)))
+        # No rate_fn: the allocated capacity *is* the bitrate, so the
+        # burst competes for raw link capacity against every live flow.
+        yield medium.transfer(config.burst_bits, nominal=nominal_bps)
+
+
+def start_cross_traffic(runtime, config: CrossTrafficConfig) -> int:
+    """Arm ``config.num_sources`` burst processes on ``runtime``'s medium.
+
+    Returns the number of sources started (0 for zero-priced runtimes
+    with no medium).  Each source draws from its own generator spawned
+    off ``config.seed``, so the background arrival pattern is frozen per
+    scenario and independent of the foreground protocol.
+    """
+    medium = runtime.medium
+    if medium is None:
+        return 0
+    root = np.random.SeedSequence([config.seed, 0xC505])
+    for child in root.spawn(config.num_sources):
+        rng = np.random.default_rng(child)
+        runtime.env.process(_burst_source(runtime.env, medium, rng, config))
+    return config.num_sources

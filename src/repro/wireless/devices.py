@@ -48,6 +48,12 @@ class DeviceFleet:
 
     ``heterogeneity`` is the log-normal sigma of the client FLOP/s spread
     (0 = identical clients, the paper's implicit setting).
+
+    ``device_classes`` replaces the uniform ``client_flops`` base with
+    named compute tiers — ``(("phone", 1e8), ("laptop", 6e8), ...)`` —
+    assigned round-robin (client ``i`` gets tier ``i % len(classes)``).
+    The log-normal heterogeneity factor still multiplies on top, so
+    within-tier spread and between-tier structure compose.
     """
 
     def __init__(
@@ -57,6 +63,7 @@ class DeviceFleet:
         server_flops: float = EDGE_SERVER_FLOPS,
         heterogeneity: float = 0.0,
         seed: int | np.random.Generator | None = None,
+        device_classes: "tuple[tuple[str, float], ...] | None" = None,
     ) -> None:
         check_positive("num_clients", num_clients)
         check_positive("client_flops", client_flops)
@@ -70,10 +77,24 @@ class DeviceFleet:
             factors = rng.lognormal(mean=0.0, sigma=heterogeneity, size=num_clients)
         else:
             factors = np.ones(num_clients)
-        self.clients = [
-            DeviceProfile(f"client-{i}", client_flops * float(factors[i]))
-            for i in range(num_clients)
-        ]
+        if device_classes:
+            tiers = [(str(name), float(flops)) for name, flops in device_classes]
+            for name, flops in tiers:
+                check_positive(f"device_classes[{name!r}]", flops)
+            self.device_classes: "tuple[tuple[str, float], ...] | None" = tuple(tiers)
+            self.clients = [
+                DeviceProfile(
+                    f"{tiers[i % len(tiers)][0]}-{i}",
+                    tiers[i % len(tiers)][1] * float(factors[i]),
+                )
+                for i in range(num_clients)
+            ]
+        else:
+            self.device_classes = None
+            self.clients = [
+                DeviceProfile(f"client-{i}", client_flops * float(factors[i]))
+                for i in range(num_clients)
+            ]
 
     @property
     def num_clients(self) -> int:

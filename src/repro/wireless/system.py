@@ -36,6 +36,9 @@ class WirelessConfig:
     client_flops: float = 2.5e8
     server_flops: float = 1.0e12
     heterogeneity: float = 0.0
+    #: named compute tiers assigned round-robin (None = uniform fleet at
+    #: ``client_flops``); see :class:`repro.wireless.devices.DeviceFleet`
+    device_classes: "tuple[tuple[str, float], ...] | None" = None
     allocator: str = "equal"
     channel: ChannelConfig = field(default_factory=ChannelConfig)
     deterministic_rates: bool = False
@@ -77,6 +80,7 @@ class WirelessSystem:
             server_flops=cfg.server_flops,
             heterogeneity=cfg.heterogeneity,
             seed=fleet_rng,
+            device_classes=cfg.device_classes,
         )
         self.allocator: BandwidthAllocator = make_allocator(
             cfg.allocator, cfg.total_bandwidth_hz

@@ -248,3 +248,138 @@ class TestSchemesUnderDynamics:
         history = scheme.run(1)
         assert len(history) == 1
         assert history.total_latency_s == 0.0
+
+
+class TestParticipationRounding:
+    """The sample size rounds half away from zero: ``floor(p*n + 0.5)``.
+
+    The old ``int(round(p * n))`` banker's-rounded half-cases to even
+    (0.5 of 5 available -> 2), so the sampled fraction dipped or jumped
+    depending on fleet-size parity.
+    """
+
+    @pytest.mark.parametrize(
+        "participation,n,expected",
+        [
+            (0.5, 5, 3),    # the banker's-rounding case: round(2.5) == 2
+            (0.5, 10, 5),
+            (0.25, 10, 3),  # round(2.5) == 2 here too
+            (0.5, 6, 3),
+            (0.1, 5, 1),    # round(0.5) == 0, then clamped; now direct
+            (0.75, 2, 2),
+            (0.5, 1, 1),
+        ],
+    )
+    def test_half_case_grid(self, participation, n, expected):
+        dyn = ClientDynamics(
+            DynamicsConfig(participation=participation, seed=0), num_clients=n
+        )
+        cond = dyn.begin_round(0, 0.0)
+        assert len(cond.participants) == expected
+
+
+class TestUnitMemberOrder:
+    """Unit participant lists preserve the caller's member order on both
+    sampling paths (the top-up path used to sort, the Bernoulli path
+    didn't — downstream relay-chain iteration depended on which fired)."""
+
+    MEMBERS = [5, 2, 0, 3]
+
+    def _order_preserved(self, members, result):
+        chosen = set(result)
+        assert result == [c for c in members if c in chosen]
+
+    def test_bernoulli_path_preserves_member_order(self):
+        dyn = ClientDynamics(DynamicsConfig(participation=0.9, seed=1), 6)
+        for _ in range(30):
+            members, _ = dyn.unit_round_conditions(list(self.MEMBERS), 0.0)
+            self._order_preserved(self.MEMBERS, members)
+
+    def test_top_up_path_preserves_member_order(self):
+        # participation 0.01 makes the Bernoulli pass come up empty almost
+        # every draw, forcing the min-participants top-up.
+        dyn = ClientDynamics(
+            DynamicsConfig(participation=0.01, min_participants=2, seed=1), 6
+        )
+        for _ in range(30):
+            members, _ = dyn.unit_round_conditions(list(self.MEMBERS), 0.0)
+            assert len(members) >= 2
+            self._order_preserved(self.MEMBERS, members)
+
+    def test_resolution_deterministic_per_seed(self):
+        def run():
+            dyn = ClientDynamics(
+                DynamicsConfig(participation=0.3, min_participants=2, seed=5), 6
+            )
+            return [
+                dyn.unit_round_conditions(list(self.MEMBERS), float(i))[0]
+                for i in range(10)
+            ]
+
+        assert run() == run()
+
+
+class TestWindowBoundary:
+    """``availability_windows`` agrees with ``available_at`` exactly at
+    the clip boundary (half-open windows, bisect_right semantics)."""
+
+    def _dynamics(self, tmp_path, toggles):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"type": "availability", "client": 0, "toggles": toggles})
+            + "\n"
+        )
+        return ClientDynamics(
+            DynamicsConfig(availability=f"trace:{path}"), num_clients=1
+        )
+
+    def test_recovery_toggle_exactly_at_until_is_kept(self, tmp_path):
+        """A client back up exactly at ``until`` used to vanish from the
+        report (the old clip dropped the toggle at the boundary)."""
+        dyn = self._dynamics(tmp_path, [1.0, 2.0])
+        assert dyn.available_at(0, 2.0)
+        windows = dyn.availability_windows(0, until=2.0)
+        assert windows == [(0.0, 1.0), (2.0, 2.0)]
+
+    def test_failure_toggle_exactly_at_until(self, tmp_path):
+        dyn = self._dynamics(tmp_path, [2.0])
+        assert not dyn.available_at(0, 2.0)  # toggle AT t counts as flipped
+        assert dyn.availability_windows(0, until=2.0) == [(0.0, 2.0)]
+
+    def test_windows_cover_exactly_the_up_instants(self, tmp_path):
+        dyn = self._dynamics(tmp_path, [0.5, 1.25, 2.0, 3.5])
+        until = 3.0
+        windows = dyn.availability_windows(0, until)
+        for t in [0.0, 0.25, 0.5, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0]:
+            in_window = any(
+                start <= t < end or t == start == end for start, end in windows
+            )
+            assert in_window == dyn.available_at(0, t), f"disagree at t={t}"
+
+    def test_export_toggles_keep_boundary_for_replay(self, tmp_path):
+        dyn = self._dynamics(tmp_path, [1.0, 2.0, 3.0])
+        assert dyn.availability_toggles(0, horizon=2.0) == [1.0, 2.0]
+
+
+class TestRoundLog:
+    def test_every_resolution_is_logged_with_its_clock(self):
+        dyn = ClientDynamics(DynamicsConfig(), num_clients=3)
+        dyn.begin_round(0, 0.0)
+        dyn.begin_round(1, 1.5)
+        dyn.begin_round(1, 2.25)  # re-resolution after an all-down wait
+        assert [(rc.round_index, rc.now_s) for rc in dyn.round_log] == [
+            (0, 0.0), (1, 1.5), (1, 2.25)
+        ]
+
+    def test_scheme_run_populates_round_log(self):
+        scenario = fast_scenario(with_wireless=True)
+        scenario.dynamics = DynamicsConfig(
+            churn_uptime_s=0.5, churn_downtime_s=0.2, seed=2
+        )
+        scheme = make_scheme("GSFL", scenario.build())
+        scheme.run(2)
+        log = scheme.dynamics.round_log
+        assert [rc.round_index for rc in log][:2] == [0, 1]
+        assert all(rc.now_s >= 0.0 for rc in log)

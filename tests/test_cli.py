@@ -229,10 +229,14 @@ class TestCommands:
 #: exact key sets of every ``--trace-out`` JSONL record type
 TRACE_SCHEMAS = {
     "meta": {
-        "type", "scheme", "rounds", "medium", "transport", "aggregation",
-        "failure_model", "grouping", "regroup", "regroup_every",
-        "num_clients", "total_latency_s", "events", "aborts", "retries",
-        "regroups",
+        "type", "scheme", "scenario", "seed", "rounds", "medium", "transport",
+        "aggregation", "failure_model", "grouping", "regroup", "regroup_every",
+        "num_clients", "num_groups", "dynamics", "total_latency_s", "events",
+        "aborts", "retries", "regroups",
+    },
+    "availability": {"type", "client", "toggles"},
+    "round_conditions": {
+        "type", "round", "time_s", "available", "participants", "slowdowns",
     },
     "activity": {
         "type", "start_s", "end_s", "duration_s", "phase", "actor", "round",
@@ -419,3 +423,113 @@ class TestTraceRoundTrip:
         self._check_schemas(rows)
         assert [r for r in rows if r["type"] == "activity_abort"]
         assert [r for r in rows if r["type"] == "aggregation_update"]
+
+    def test_meta_embeds_full_dynamics_config(self, tmp_path, capsys):
+        """The meta row's ``dynamics`` object carries every
+        ``DynamicsConfig`` field, so a trace alone can rebuild the world."""
+        from dataclasses import fields
+
+        from repro.experiments.dynamics import DynamicsConfig
+
+        rows = self._rows(
+            tmp_path,
+            ["--scheme", "GSFL", "--churn-uptime", "0.1",
+             "--churn-downtime", "0.03", "--failure-model", "mid-activity"],
+        )
+        self._check_schemas(rows)
+        meta = rows[0]
+        assert set(meta["dynamics"]) == {f.name for f in fields(DynamicsConfig)}
+        assert meta["dynamics"]["failure_model"] == "mid-activity"
+        assert meta["seed"] == 0 and meta["num_groups"] == 2
+        # rebuilding from the embedded dict round-trips the config exactly
+        assert DynamicsConfig(**meta["dynamics"]) is not None
+
+    def test_static_run_meta_dynamics_is_null(self, tmp_path, capsys):
+        rows = self._rows(tmp_path, ["--scheme", "GSFL"])
+        meta = rows[0]
+        assert meta["dynamics"] is None
+        assert not [r for r in rows if r["type"] == "availability"]
+
+
+class TestScenarioCLI:
+    """The scenario catalog: ``--scenario`` plumbing plus the
+    ``scenarios`` subcommand."""
+
+    def test_scenarios_lists_catalog(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fast", "paper", "churn", "diurnal", "cell-outage",
+                     "mobility", "device-classes", "cross-traffic"):
+            assert name in out
+        assert "replay:" in out  # the dynamic form is advertised
+
+    def test_scenarios_describe(self, capsys):
+        assert main(["scenarios", "diurnal"]) == 0
+        out = capsys.readouterr().out
+        assert "availability=diurnal" in out
+        assert "6 clients / 2 groups" in out
+
+    def test_scenarios_unknown_name_exit_2(self, capsys):
+        assert main(["scenarios", "astrology"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_unknown_scenario_exit_2(self, capsys):
+        assert main(["run", "--scenario", "astrology", "--rounds", "1"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "name", ["churn", "diurnal", "cell-outage", "mobility",
+                 "device-classes", "cross-traffic"]
+    )
+    def test_run_each_catalog_world(self, name, capsys):
+        assert main(["run", "--scenario", name, "--rounds", "1"]) == 0
+
+    def test_scenario_trace_availability_and_round_rows(self, tmp_path, capsys):
+        path = tmp_path / "churn.jsonl"
+        assert main(
+            ["run", "--scenario", "churn", "--scheme", "GSFL", "--rounds", "2",
+             "--trace-out", str(path)]
+        ) == 0
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        for row in rows:
+            assert row["type"] in TRACE_SCHEMAS
+            assert set(row) == TRACE_SCHEMAS[row["type"]], f"schema drift: {row}"
+        meta = rows[0]
+        assert meta["scenario"] == "churn"
+        assert meta["dynamics"]["churn_uptime_s"] == 0.15
+        avail = [r for r in rows if r["type"] == "availability"]
+        assert len(avail) == meta["num_clients"] == 12
+        for row in avail:
+            toggles = row["toggles"]
+            assert toggles == sorted(toggles)
+            assert all(t > 0 for t in toggles)
+        conds = [r for r in rows if r["type"] == "round_conditions"]
+        assert [r["round"] for r in conds] == [0, 1]
+        for row in conds:
+            assert set(row["participants"]) <= set(row["available"])
+            # no stragglers in this world -> slowdown map only carries
+            # participants (empty here, keyed by client id when present)
+            assert set(map(int, row["slowdowns"])) <= set(row["participants"])
+
+    def test_record_replay_round_trip_cli(self, tmp_path, capsys):
+        """``replay:<trace>`` re-drives the recorded availability: the
+        replayed run reports the same per-round metrics."""
+        path = tmp_path / "rec.jsonl"
+        assert main(
+            ["run", "--scenario", "churn", "--scheme", "GSFL", "--rounds", "2",
+             "--trace-out", str(path)]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(
+            ["run", "--scenario", f"replay:{path}", "--scheme", "GSFL",
+             "--rounds", "2"]
+        ) == 0
+        second = capsys.readouterr().out
+
+        def metrics(out):
+            return [
+                line for line in out.splitlines()
+                if line.lstrip()[:1].isdigit() or line.startswith("GSFL:")
+            ]
+
+        assert metrics(first) == metrics(second)

@@ -79,6 +79,39 @@ class TestDevices:
         fleet = DeviceFleet(4, seed=0)
         assert fleet.server.flops_per_second > max(fleet.client_flops_array())
 
+    def test_device_classes_assign_tiers_round_robin(self):
+        tiers = (("phone", 1e8), ("laptop", 6e8), ("edge-box", 2.4e9))
+        fleet = DeviceFleet(7, heterogeneity=0.0, seed=0, device_classes=tiers)
+        assert fleet.device_classes == tiers
+        names = [c.name for c in fleet.clients]
+        assert names == [
+            "phone-0", "laptop-1", "edge-box-2", "phone-3", "laptop-4",
+            "edge-box-5", "phone-6",
+        ]
+        flops = fleet.client_flops_array()
+        np.testing.assert_allclose(flops[:3], [1e8, 6e8, 2.4e9])
+        np.testing.assert_allclose(flops[0], flops[3])
+
+    def test_device_classes_compose_with_heterogeneity(self):
+        tiers = (("phone", 1e8), ("laptop", 6e8))
+        fleet = DeviceFleet(20, heterogeneity=0.5, seed=0, device_classes=tiers)
+        flops = fleet.client_flops_array()
+        # the lognormal factor spreads within tiers
+        assert len(np.unique(flops)) == 20
+        # ...while the tier structure survives it on average
+        assert flops[1::2].mean() > flops[0::2].mean()
+
+    def test_device_classes_validate_flops(self):
+        with pytest.raises(ValueError):
+            DeviceFleet(4, device_classes=(("phone", 0.0),))
+
+    def test_no_device_classes_is_legacy_naming(self):
+        fleet = DeviceFleet(3, client_flops=1e9, seed=0)
+        assert fleet.device_classes is None
+        assert [c.name for c in fleet.clients] == [
+            "client-0", "client-1", "client-2",
+        ]
+
 
 def _test_channel(n=4):
     return WirelessChannel(
