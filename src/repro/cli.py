@@ -39,7 +39,8 @@ from repro.experiments.catalog import describe_scenario, get_scenario, list_scen
 from repro.experiments.dynamics import FAILURE_MODELS, DynamicsConfig
 from repro.experiments.figures import run_fig2a, run_fig2b
 from repro.experiments.runner import SCHEME_REGISTRY, make_scheme
-from repro.experiments.scenario import fast_scenario, paper_scenario
+from repro.devtools.trace_schema import validate_row
+from repro.experiments.scenario import ExperimentScenario, fast_scenario, paper_scenario
 from repro.nn.dtype import set_default_dtype
 from repro.schemes.base import MEDIUM_POLICIES
 from repro.sim.server import parse_aggregation
@@ -221,7 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _scenario(args: argparse.Namespace):
+def _scenario(args: argparse.Namespace) -> ExperimentScenario:
     from dataclasses import replace
 
     if getattr(args, "scenario", None):
@@ -285,7 +286,10 @@ def _export_trace(path: str, scheme: "object", scenario_name: "str | None" = Non
     total_span = scheme.runtime.now
     energy = EnergyModel()
     with open(path, "w") as fh:
-        def emit(row: dict) -> None:
+        def emit(row: "dict[str, object]") -> None:
+            # Every exported row must match the canonical schema registry
+            # (repro.devtools.trace_schema) — the runtime half of TRC001.
+            validate_row(row)
             fh.write(json.dumps(row) + "\n")
 
         emit(

@@ -506,7 +506,9 @@ class GroupSplitFederatedLearning(AsyncSplitStateMixin, Scheme):
     def _async_unit_weight(self, unit: int) -> float:
         return float(sum(len(self.client_datasets[c]) for c in self.groups[unit]))
 
-    def _async_unit_round(self, unit: int, unit_round: int):
+    def _async_unit_round(
+        self, unit: int, unit_round: int
+    ) -> "UnitRoundWork | RetryAt":
         resolved = self._async_unit_dynamics(self.groups[unit])
         if isinstance(resolved, RetryAt):
             return resolved

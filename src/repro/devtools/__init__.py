@@ -1,0 +1,20 @@
+"""Repository development tooling: determinism lints and schema registry.
+
+``repro.devtools`` hosts the static-analysis layer that machine-checks
+the reproducibility contract the golden-history suites only spot-check:
+
+* :mod:`repro.devtools.lint` — AST-based lint engine
+  (``python -m repro.devtools.lint src/ tests/``) with per-rule docs,
+  ``# repro: disable=RULE (reason)`` suppressions and JSON output.
+* :mod:`repro.devtools.rules` — the rule catalog (DET/SIM/TRC/TYP).
+* :mod:`repro.devtools.trace_schema` — the single canonical definition
+  of every ``--trace-out`` JSONL row type, imported by the recorder,
+  the CLI exporter, the replay parsers and the schema-pin tests.
+
+The package deliberately has no dependencies on the simulation layers,
+so importing it from anywhere inside ``repro`` can never cycle.
+"""
+
+from __future__ import annotations
+
+__all__: list[str] = []

@@ -1,0 +1,320 @@
+"""AST-based determinism lint engine.
+
+Usage::
+
+    python -m repro.devtools.lint src/ tests/            # human output
+    python -m repro.devtools.lint src/ --format json     # CI annotation
+    python -m repro.devtools.lint --list-rules           # rule catalog
+
+Exit status is 0 when no findings survive suppression, 1 otherwise
+(2 for usage errors).  Suppressions are per-line comments with a
+**mandatory reason**::
+
+    self._rng = new_rng(None)  # repro: disable=DET001 (documented entropy escape hatch)
+
+A suppression comment on a line of its own applies to the next line.
+Multiple rules separate with commas: ``# repro: disable=DET002,DET004
+(reason)``.  A suppression without a parenthesized non-empty reason, or
+naming an unknown rule, is itself a finding (SUP001) — the suppression
+inventory stays auditable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.devtools.rules import ALL_RULES, Finding, Rule
+
+__all__ = ["LintReport", "Suppression", "lint_paths", "lint_source", "main"]
+
+#: matches the suppression comment form; the parenthesized reason is mandatory
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*\((?P<reason>[^()]*)\))?\s*$"
+)
+
+_KNOWN_RULE_IDS = frozenset(rule.rule_id for rule in ALL_RULES) | {"PAR001"}
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: disable`` comment."""
+
+    path: str
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    #: the line the suppression applies to (next line for standalone comments)
+    target_line: int
+
+
+@dataclass
+class LintReport:
+    """Engine output: surviving findings plus the suppression inventory."""
+
+    findings: list[Finding]
+    suppressions: list[Suppression]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> str:
+        payload = {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "findings": [asdict(f) for f in self.findings],
+            "counts": self.counts(),
+            "suppressions": [asdict(s) for s in self.suppressions],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return out
+
+
+def _parse_suppressions(
+    source: str, path: str
+) -> tuple[dict[int, Suppression], list[Finding]]:
+    """Parse suppression comments; malformed ones become SUP001 findings.
+
+    Returns ``{target_line: Suppression}`` for well-formed suppressions.
+    """
+    by_target: dict[int, Suppression] = {}
+    problems: list[Finding] = []
+    comments: list[tuple[int, int, str, bool]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                lineno, col = tok.start
+                standalone = not tok.line[:col].strip()
+                comments.append((lineno, col, tok.string, standalone))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable files surface as PAR001 from the AST pass.
+        return {}, []
+    for lineno, col, comment, standalone in comments:
+        if "repro:" not in comment or "disable" not in comment:
+            continue
+        match = _SUPPRESS_RE.search(comment)
+        if match is None:
+            problems.append(
+                Finding(
+                    rule="SUP001",
+                    path=path,
+                    line=lineno,
+                    col=col,
+                    message=(
+                        "malformed suppression — expected "
+                        "'# repro: disable=RULE (reason)'"
+                    ),
+                )
+            )
+            continue
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        unknown = [r for r in rules if r not in _KNOWN_RULE_IDS]
+        if not reason:
+            problems.append(
+                Finding(
+                    rule="SUP001",
+                    path=path,
+                    line=lineno,
+                    col=col,
+                    message=(
+                        f"suppression of {', '.join(rules) or '?'} has no "
+                        f"reason — a parenthesized non-empty reason is "
+                        f"mandatory"
+                    ),
+                )
+            )
+            continue
+        if unknown:
+            problems.append(
+                Finding(
+                    rule="SUP001",
+                    path=path,
+                    line=lineno,
+                    col=col,
+                    message=f"suppression names unknown rule(s): {', '.join(unknown)}",
+                )
+            )
+            continue
+        target = lineno + 1 if standalone else lineno
+        by_target[target] = Suppression(
+            path=path, line=lineno, rules=rules, reason=reason, target_line=target
+        )
+    return by_target, problems
+
+
+def lint_source(
+    source: str, path: str, rules: Sequence[Rule] = ALL_RULES
+) -> LintReport:
+    """Lint one in-memory module (the unit the fixture tests drive)."""
+    suppressions, problems = _parse_suppressions(source, path)
+    findings: list[Finding] = list(problems)
+    used: set[int] = set()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        findings.append(
+            Finding(
+                rule="PAR001",
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        )
+        return LintReport(findings=findings, suppressions=[], files_checked=1)
+    for rule in rules:
+        if not rule.applies(path):
+            continue
+        for finding in rule.check(tree, path):
+            sup = suppressions.get(finding.line)
+            if sup is not None and finding.rule in sup.rules:
+                used.add(sup.target_line)
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintReport(
+        findings=findings,
+        suppressions=sorted(suppressions.values(), key=lambda s: s.line),
+        files_checked=1,
+    )
+
+
+def _iter_py_files(paths: Iterable[str]) -> Iterator[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                parts = sub.parts
+                if "__pycache__" in parts or any(
+                    part.startswith(".") for part in parts
+                ):
+                    continue
+                yield sub
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Sequence[Rule] = ALL_RULES
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    suppressions: list[Suppression] = []
+    checked = 0
+    for file_path in _iter_py_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    rule="PAR001",
+                    path=str(file_path),
+                    line=1,
+                    col=0,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        report = lint_source(source, file_path.as_posix(), rules)
+        findings.extend(report.findings)
+        suppressions.extend(report.suppressions)
+        checked += 1
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintReport(
+        findings=findings, suppressions=suppressions, files_checked=checked
+    )
+
+
+def _render_catalog() -> str:
+    lines = ["Determinism lint rule catalog", "=" * 29, ""]
+    for rule in ALL_RULES:
+        lines.append(f"{rule.rule_id}: {rule.title}")
+        lines.append("-" * len(f"{rule.rule_id}: {rule.title}"))
+        lines.append(rule.doc)
+        lines.append("")
+    lines.append("SUP001: suppression hygiene")
+    lines.append("-" * len("SUP001: suppression hygiene"))
+    lines.append(
+        "Every '# repro: disable=RULE' comment must carry a parenthesized "
+        "non-empty reason and name only known rules; violations are "
+        "findings themselves and cannot be suppressed."
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="AST-based determinism lints for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint (e.g. src/ tests/)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is machine-readable for CI annotation)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the report (in the chosen format) to FILE",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog with per-rule documentation and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_render_catalog())
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.devtools.lint src/ tests/)")
+
+    report = lint_paths(args.paths)
+    if args.format == "json":
+        rendered = report.to_json()
+    else:
+        lines = [f.render() for f in report.findings]
+        summary = (
+            f"{len(report.findings)} finding(s) in {report.files_checked} "
+            f"file(s); {len(report.suppressions)} suppression(s) in force"
+        )
+        rendered = "\n".join(lines + [summary]) if lines else summary
+    print(rendered)
+    if args.output:
+        Path(args.output).write_text(
+            rendered if rendered.endswith("\n") else rendered + "\n",
+            encoding="utf-8",
+        )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... --list-rules | head`
+        sys.exit(0)

@@ -1,0 +1,605 @@
+"""Lint-rule catalog for the determinism contract.
+
+Every rule is a small AST pass with an id, a one-line title and a
+``doc`` paragraph explaining *what invariant it protects* — the same
+text ``python -m repro.devtools.lint --list-rules`` and the README rule
+catalog render.  Rules are deliberately repo-specific: they encode the
+conventions the golden-history / trace-replay suites rely on but can
+only spot-check dynamically.
+
+Path scoping: each rule declares where it applies via ``applies(path)``
+over the *posix-normalized* path the engine was handed.  ``src/`` is
+library code, ``tests/`` is the suite, ``benchmarks/`` is exempt from
+the wall-clock rule (measuring wall time is its job).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.devtools.trace_schema import TRACE_SCHEMAS
+
+__all__ = ["Finding", "Rule", "ALL_RULES", "rule_by_id"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, addressable by ``path:line:col``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _parts(path: str) -> tuple[str, ...]:
+    return tuple(p for p in path.replace("\\", "/").split("/") if p not in (".", ""))
+
+
+def _is_library(path: str) -> bool:
+    """Library code: anything under ``src/`` (and not under ``tests/``)."""
+    parts = _parts(path)
+    return "src" in parts and "tests" not in parts
+
+
+def _is_benchmarks(path: str) -> bool:
+    return "benchmarks" in _parts(path)
+
+
+def _in_ordered_packages(path: str) -> bool:
+    p = path.replace("\\", "/")
+    return any(
+        seg in p for seg in ("repro/sim/", "repro/schemes/", "repro/experiments/")
+    )
+
+
+class Rule:
+    """Base class: subclasses set ``rule_id``/``title``/``doc`` and
+    implement ``check``; ``applies`` defaults to every path."""
+
+    rule_id: str = ""
+    title: str = ""
+    doc: str = ""
+
+    def applies(self, path: str) -> bool:
+        return True
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _call_name(node: ast.Call) -> str:
+    """Trailing name of the called object (``a.b.c()`` -> ``c``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+class SeedlessRngRule(Rule):
+    rule_id = "DET001"
+    title = "seedless RNG construction in library code"
+    doc = (
+        "Flags `np.random.default_rng()` / `default_rng(None)` and "
+        "`new_rng()` / `new_rng(None)` calls in library code (src/, "
+        "benchmarks/). A seedless generator draws from OS entropy and "
+        "silently unpins every downstream run — the exact failure mode "
+        "the golden-history suites cannot catch, because each CI run "
+        "would re-roll the entropy. Pass an explicit seed or an existing "
+        "Generator; `new_rng(seed=None)` as a *forwarded parameter* is "
+        "fine, only the literal-None / empty-call forms are flagged."
+    )
+
+    def applies(self, path: str) -> bool:
+        return _is_library(path) or _is_benchmarks(path)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name not in ("default_rng", "new_rng"):
+                continue
+            seedless = (not node.args and not node.keywords) or (
+                len(node.args) == 1 and not node.keywords and _is_none(node.args[0])
+            )
+            if not seedless:
+                # also catch the keyword spelling: seed=None as a literal
+                seedless = (
+                    not node.args
+                    and len(node.keywords) == 1
+                    and node.keywords[0].arg == "seed"
+                    and node.keywords[0].value is not None
+                    and _is_none(node.keywords[0].value)
+                )
+            if seedless:
+                yield self.finding(
+                    path,
+                    node,
+                    f"seedless {name}() call — pass an explicit seed or "
+                    f"Generator (OS entropy unpins reproducibility)",
+                )
+
+
+#: wall-clock attributes of the stdlib ``time`` module
+_TIME_ATTRS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns",
+})
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+class WallClockRule(Rule):
+    rule_id = "DET002"
+    title = "wall-clock read outside benchmarks/"
+    doc = (
+        "Flags reads of the host clock — `time.time`, `time.perf_counter`, "
+        "`time.monotonic`, `datetime.now()` and friends — anywhere except "
+        "benchmarks/. Simulation code must derive *all* timing from the "
+        "DES clock (`Environment.now`); a wall-clock read makes behavior "
+        "depend on host speed and destroys bitwise trace replay. "
+        "Benchmarks are exempt: measuring wall time is their job."
+    )
+
+    def applies(self, path: str) -> bool:
+        return not _is_benchmarks(path)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        time_aliases: set[str] = set()
+        datetime_aliases: set[str] = set()
+        func_aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+                    elif alias.name == "datetime":
+                        datetime_aliases.add(alias.asname or "datetime")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_ATTRS:
+                            func_aliases[alias.asname or alias.name] = (
+                                f"time.{alias.name}"
+                            )
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            datetime_aliases.add(alias.asname or alias.name)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                base = node.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in time_aliases
+                    and node.attr in _TIME_ATTRS
+                ):
+                    yield self.finding(
+                        path,
+                        node,
+                        f"wall-clock read time.{node.attr} — use the DES clock "
+                        f"(Environment.now); only benchmarks/ may read host time",
+                    )
+                elif node.attr in _DATETIME_ATTRS and self._is_datetime_base(
+                    base, datetime_aliases
+                ):
+                    yield self.finding(
+                        path,
+                        node,
+                        f"wall-clock read datetime .{node.attr} — simulation "
+                        f"output must not depend on the host date",
+                    )
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in func_aliases
+            ):
+                yield self.finding(
+                    path,
+                    node,
+                    f"wall-clock read {func_aliases[node.id]} — use the DES "
+                    f"clock (Environment.now); only benchmarks/ may read host time",
+                )
+
+    @staticmethod
+    def _is_datetime_base(base: ast.expr, datetime_aliases: set[str]) -> bool:
+        if isinstance(base, ast.Name):
+            return base.id in datetime_aliases
+        if isinstance(base, ast.Attribute):  # datetime.datetime.now
+            return (
+                isinstance(base.value, ast.Name)
+                and base.value.id in datetime_aliases
+                and base.attr in ("datetime", "date")
+            )
+        return False
+
+
+#: wrappers that preserve the iteration order of their operand
+_ORDER_PRESERVING_WRAPPERS = frozenset({"enumerate", "list", "tuple", "reversed"})
+
+
+class SetIterationRule(Rule):
+    rule_id = "DET003"
+    title = "hash-ordered set iteration in simulation packages"
+    doc = (
+        "Flags `for`-loops and comprehensions that iterate a `set`/"
+        "`frozenset` literal or `set(...)`/`frozenset(...)` call inside "
+        "repro.sim / repro.schemes / repro.experiments. Set iteration "
+        "order follows the hash seed: an RNG draw or event submission "
+        "inside such a loop consumes the stream in a host-dependent "
+        "order (the PR 9 order-dependent-sampling bug class). Wrap the "
+        "set in `sorted(...)` to fix; `sorted(set(...))` is not flagged."
+    )
+
+    def applies(self, path: str) -> bool:
+        return _in_ordered_packages(path)
+
+    @staticmethod
+    def _unwrap(node: ast.expr) -> ast.expr:
+        while (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_PRESERVING_WRAPPERS
+            and node.args
+        ):
+            node = node.args[0]
+        return node
+
+    @classmethod
+    def _is_set_expr(cls, node: ast.expr) -> bool:
+        node = cls._unwrap(node)
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._is_set_expr(it):
+                    yield self.finding(
+                        path,
+                        it,
+                        "iteration over a set literal/set() call — hash order "
+                        "is host-dependent; wrap in sorted(...) for a "
+                        "deterministic order",
+                    )
+
+
+class StdlibRandomRule(Rule):
+    rule_id = "DET004"
+    title = "stdlib random usage"
+    doc = (
+        "Flags `import random` / `from random import ...`. The stdlib "
+        "module is one hidden *global* stream: any import can be seeded "
+        "or drawn from by unrelated code, so two call sites silently "
+        "couple. All randomness must flow through explicit "
+        "`numpy.random.Generator` objects (`repro.utils.rng.new_rng`, "
+        "`spawn_rngs`)."
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            path,
+                            node,
+                            "stdlib random imported — use an explicit "
+                            "numpy Generator (repro.utils.rng) instead of "
+                            "the hidden global stream",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                yield self.finding(
+                    path,
+                    node,
+                    "stdlib random imported — use an explicit numpy "
+                    "Generator (repro.utils.rng) instead of the hidden "
+                    "global stream",
+                )
+
+
+class BankersRoundingRule(Rule):
+    rule_id = "DET005"
+    title = "int(round(...)) banker's rounding"
+    doc = (
+        "Flags the `int(round(x))` composition in library code. Python's "
+        "`round` uses banker's rounding (ties to even): `round(2.5) == 2`. "
+        "In sampling paths this turns an innocent-looking half-way case "
+        "into a parity-dependent count — PR 9's participation sampler "
+        "drew 2 of 5 clients at rate 0.5 because of exactly this. Use an "
+        "explicit direction instead: `floor(x + 0.5)` (half away from "
+        "zero for non-negative x), `math.ceil`, or integer arithmetic."
+    )
+
+    def applies(self, path: str) -> bool:
+        return _is_library(path)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "int"
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Call)
+                and isinstance(node.args[0].func, ast.Name)
+                and node.args[0].func.id == "round"
+            ):
+                yield self.finding(
+                    path,
+                    node,
+                    "int(round(...)) uses banker's rounding (ties to even) — "
+                    "pick an explicit direction: int(x + 0.5), math.floor/"
+                    "ceil, or integer arithmetic",
+                )
+
+
+class SimApiMisuseRule(Rule):
+    rule_id = "SIM001"
+    title = "Environment/Event API misuse"
+    doc = (
+        "Straight-line heuristic for the two DES-engine misuse patterns "
+        "PR 7 hardened at runtime: (a) `.succeed(...)` on an event that "
+        "an earlier statement in the same function cancelled — "
+        "`Event.succeed` raises RuntimeError on a cancelled event; "
+        "(b) `env.cancel(e)` on an event created via `env.event()` in "
+        "the same function and never scheduled, succeeded or handed to "
+        "other code in between — a silent no-op since cancel ignores "
+        "never-scheduled events. The analysis is per-function and "
+        "order-of-appearance (branches look sequential); code that "
+        "deliberately exercises the runtime guards should suppress with "
+        "a reason."
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(node, path)
+
+    def _check_function(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef, path: str
+    ) -> Iterator[Finding]:
+        nodes = sorted(
+            self._own_nodes(func),
+            key=lambda n: (getattr(n, "lineno", 0), getattr(n, "col_offset", 0)),
+        )
+        cancelled: set[str] = set()
+        fresh_events: dict[str, ast.AST] = {}
+        for node in nodes:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        cancelled = {
+                            k for k in cancelled
+                            if k != target.id and not k.startswith(target.id + ".")
+                        }
+                        fresh_events.pop(target.id, None)
+                        if (
+                            isinstance(node.value, ast.Call)
+                            and _call_name(node.value) == "event"
+                            and not node.value.args
+                        ):
+                            fresh_events[target.id] = node
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name == "cancel" and isinstance(node.func, ast.Attribute):
+                key = None
+                if node.args and isinstance(
+                    node.args[0], (ast.Name, ast.Attribute)
+                ):
+                    key = ast.unparse(node.args[0])
+                elif not node.args:
+                    key = ast.unparse(node.func.value)
+                if key is not None:
+                    cancelled.add(key)
+                    if key in fresh_events:
+                        yield self.finding(
+                            path,
+                            node,
+                            f"cancel of never-scheduled event {key!r} is a "
+                            f"silent no-op — schedule/succeed it first or "
+                            f"drop the cancel",
+                        )
+                continue
+            if name == "succeed" and isinstance(node.func, ast.Attribute):
+                key = ast.unparse(node.func.value)
+                if key in cancelled:
+                    yield self.finding(
+                        path,
+                        node,
+                        f"succeed() on {key!r} after an earlier cancel in the "
+                        f"same function — Event.succeed raises RuntimeError "
+                        f"on a cancelled event",
+                    )
+            # any other use of a fresh event (passed to a call, yielded
+            # via a generator expression, ...) may schedule it elsewhere:
+            # drop it from the never-scheduled set.
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Name) and sub.id in fresh_events:
+                        if name != "cancel":
+                            fresh_events.pop(sub.id, None)
+
+    @staticmethod
+    def _own_nodes(
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterable[ast.AST]:
+        """All nodes of ``func``'s body, excluding nested function scopes."""
+
+        def visit(node: ast.AST) -> Iterator[ast.AST]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                yield child
+                yield from visit(child)
+
+        for stmt in func.body:
+            yield stmt
+            yield from visit(stmt)
+
+
+class TraceSchemaRule(Rule):
+    rule_id = "TRC001"
+    title = "trace-row literal drifts from the canonical schema"
+    doc = (
+        "Cross-checks every dict literal carrying a constant `\"type\"` "
+        "key against `repro.devtools.trace_schema.TRACE_SCHEMAS`. A "
+        "registered row type whose literal key set differs from the "
+        "registry (field added in only one place) is flagged, as is an "
+        "unregistered row type in any module that imports the registry "
+        "(i.e. declared trace emitters/parsers). Together with the "
+        "runtime `validate_row` calls and the schema-pin tests this "
+        "makes the JSONL schema single-sourced."
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        imports_registry = any(
+            isinstance(node, (ast.Import, ast.ImportFrom))
+            and "devtools.trace_schema" in (
+                getattr(node, "module", None) or ""
+            ) + " ".join(a.name for a in node.names)
+            for node in ast.walk(tree)
+        )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Dict):
+                continue
+            keys: list[str] = []
+            constant = True
+            type_value: str | None = None
+            for key_node, value_node in zip(node.keys, node.values):
+                if not (
+                    isinstance(key_node, ast.Constant)
+                    and isinstance(key_node.value, str)
+                ):
+                    constant = False
+                    break
+                keys.append(key_node.value)
+                if key_node.value == "type":
+                    if (
+                        isinstance(value_node, ast.Constant)
+                        and isinstance(value_node.value, str)
+                    ):
+                        type_value = value_node.value
+            if not constant or type_value is None:
+                continue
+            if type_value in TRACE_SCHEMAS:
+                expected = TRACE_SCHEMAS[type_value]
+                got = frozenset(keys)
+                if got != expected:
+                    missing = sorted(expected - got)
+                    extra = sorted(got - expected)
+                    yield self.finding(
+                        path,
+                        node,
+                        f"trace row {type_value!r} drifts from "
+                        f"repro.devtools.trace_schema: missing={missing} "
+                        f"extra={extra}",
+                    )
+            elif imports_registry:
+                yield self.finding(
+                    path,
+                    node,
+                    f"unregistered trace row type {type_value!r} — add it to "
+                    f"repro.devtools.trace_schema.TRACE_SCHEMAS",
+                )
+
+
+class UntypedDefRule(Rule):
+    rule_id = "TYP001"
+    title = "missing annotations on a library function"
+    doc = (
+        "Requires every function in src/repro to annotate all parameters "
+        "and its return type — the locally-enforceable core of the "
+        "`mypy --strict` gate (CI runs the full checker; this rule keeps "
+        "the contract machine-checked even where mypy is unavailable). "
+        "`self`/`cls` are exempt, and `__init__`/`__post_init__` may omit "
+        "the `-> None`."
+    )
+
+    def applies(self, path: str) -> bool:
+        return _is_library(path)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            unannotated = [
+                a.arg
+                for a in args.posonlyargs + args.args + args.kwonlyargs
+                if a.annotation is None and a.arg not in ("self", "cls")
+            ]
+            if args.vararg is not None and args.vararg.annotation is None:
+                unannotated.append("*" + args.vararg.arg)
+            if args.kwarg is not None and args.kwarg.annotation is None:
+                unannotated.append("**" + args.kwarg.arg)
+            missing_return = node.returns is None and node.name not in (
+                "__init__",
+                "__post_init__",
+            )
+            if unannotated or missing_return:
+                bits = []
+                if unannotated:
+                    bits.append(f"unannotated parameters: {', '.join(unannotated)}")
+                if missing_return:
+                    bits.append("missing return annotation")
+                yield self.finding(
+                    path,
+                    node,
+                    f"function {node.name!r} — {'; '.join(bits)}",
+                )
+
+
+#: the full catalog, in reporting order
+ALL_RULES: tuple[Rule, ...] = (
+    SeedlessRngRule(),
+    WallClockRule(),
+    SetIterationRule(),
+    StdlibRandomRule(),
+    BankersRoundingRule(),
+    SimApiMisuseRule(),
+    TraceSchemaRule(),
+    UntypedDefRule(),
+)
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    for rule in ALL_RULES:
+        if rule.rule_id == rule_id:
+            return rule
+    raise KeyError(rule_id)

@@ -45,6 +45,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.devtools.trace_schema import (
+    REPLAY_AVAILABILITY_REQUIRED,
+    TRACE_SCHEMAS,
+)
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -338,6 +342,14 @@ class TraceReplay(AvailabilityProcess):
                     raise ValueError(f"{path}:{lineno}: not JSONL ({exc})")
                 if not isinstance(row, dict) or row.get("type") != "availability":
                     continue
+                missing = sorted(REPLAY_AVAILABILITY_REQUIRED - set(row))
+                unknown = sorted(set(row) - TRACE_SCHEMAS["availability"])
+                if missing or unknown:
+                    raise ValueError(
+                        f"{path}:{lineno}: availability row drifts from "
+                        f"repro.devtools.trace_schema: missing={missing} "
+                        f"unknown={unknown}"
+                    )
                 client = int(row["client"])
                 if not 0 <= client < num_clients:
                     raise ValueError(

@@ -24,6 +24,7 @@ import json
 from dataclasses import dataclass, replace
 from typing import Callable
 
+from repro.devtools.trace_schema import TRACE_SCHEMAS
 from repro.experiments.dynamics import DynamicsConfig
 from repro.experiments.scenario import (
     ExperimentScenario,
@@ -56,10 +57,15 @@ class ScenarioEntry:
 SCENARIO_REGISTRY: dict[str, ScenarioEntry] = {}
 
 
-def register_scenario(name: str, *, summary: str, tags: "tuple[str, ...]" = ()):
+_Builder = Callable[[int], ExperimentScenario]
+
+
+def register_scenario(
+    name: str, *, summary: str, tags: "tuple[str, ...]" = ()
+) -> Callable[[_Builder], _Builder]:
     """Decorator registering ``builder(seed) -> ExperimentScenario``."""
 
-    def decorator(builder: Callable[[int], ExperimentScenario]):
+    def decorator(builder: _Builder) -> _Builder:
         if name in SCENARIO_REGISTRY:
             raise ValueError(f"scenario {name!r} already registered")
         SCENARIO_REGISTRY[name] = ScenarioEntry(name, summary, tuple(tags), builder)
@@ -135,7 +141,14 @@ def describe_scenario(name: str, seed: int = 0) -> str:
 # ----------------------------------------------------------------------
 # trace replay
 # ----------------------------------------------------------------------
-def _read_meta(path: str) -> dict:
+def _read_meta(path: str) -> "dict[str, object]":
+    """First ``meta`` row of a recorded trace, schema-checked.
+
+    The replay contract is *tolerant of missing* optional fields (older
+    or foreign traces fall back to the base world) but *strict on
+    unknown* ones: a field present in the file but absent from the
+    canonical registry means recorder and parser have drifted apart.
+    """
     try:
         fh = open(path)
     except OSError as exc:
@@ -150,6 +163,12 @@ def _read_meta(path: str) -> dict:
             except json.JSONDecodeError as exc:
                 raise ValueError(f"trace {path!r} is not JSONL: {exc}")
             if isinstance(row, dict) and row.get("type") == "meta":
+                unknown = sorted(set(row) - TRACE_SCHEMAS["meta"])
+                if unknown:
+                    raise ValueError(
+                        f"trace {path!r} meta row carries fields unknown to "
+                        f"repro.devtools.trace_schema: {unknown}"
+                    )
                 return row
             break
     raise ValueError(f"trace {path!r} has no leading 'meta' row")

@@ -566,13 +566,18 @@ class Scheme:
         recorded = 0
         last_end = self.runtime.now
 
-        def work_fn(unit_index: int, unit_round: int):
+        def work_fn(unit_index: int, unit_round: int) -> "UnitRoundWork | RetryAt":
             work = self._async_unit_round(units[unit_index], unit_round)
             if isinstance(work, UnitRoundWork) and work.recovery is None:
                 work.recovery = self._track_recovery()
             return work
 
-        def on_commit(unit_index, unit_round, work, record) -> None:
+        def on_commit(
+            unit_index: int,
+            unit_round: int,
+            work: UnitRoundWork,
+            record: "UpdateRecord | None",
+        ) -> None:
             nonlocal recorded, last_end
             loss_sums[unit_round] += work.loss_sum
             loss_counts[unit_round] += work.num_contributors

@@ -185,7 +185,9 @@ class FederatedLearning(Scheme):
     def _async_unit_weight(self, unit: int) -> float:
         return float(len(self.client_datasets[unit]))
 
-    def _async_unit_round(self, unit: int, unit_round: int):
+    def _async_unit_round(
+        self, unit: int, unit_round: int
+    ) -> "UnitRoundWork | RetryAt":
         """One client's barrier-free round: download → train → upload.
 
         The broadcast distribution stage of the sync protocol has no

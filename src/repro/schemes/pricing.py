@@ -34,6 +34,7 @@ from repro.sim.runtime import (
     demand_lower_bound_s,
 )
 from repro.sim.transport import Float32Codec, IntKCodec, TransportCodec, parse_transport
+from repro.wireless.channel import WirelessChannel
 from repro.wireless.system import WirelessSystem
 
 __all__ = ["LatencyModel"]
@@ -269,7 +270,11 @@ class LatencyModel:
         channel = self.system.channel
         pairs = [(c, channel.draw_fading()) for c in clients]
 
-        def weakest_rate(hz: float, _pairs=tuple(pairs), _ch=channel) -> float:
+        def weakest_rate(
+            hz: float,
+            _pairs: "tuple[tuple[int, float], ...]" = tuple(pairs),
+            _ch: "WirelessChannel" = channel,
+        ) -> float:
             return min(_ch.downlink_rate_bps(c, hz, fading=f) for c, f in _pairs)
 
         nominal_rates = [

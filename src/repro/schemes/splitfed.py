@@ -136,7 +136,9 @@ class SplitFedLearning(AsyncSplitStateMixin, Scheme):
     def _async_unit_weight(self, unit: int) -> float:
         return float(len(self.client_datasets[unit]))
 
-    def _async_unit_round(self, unit: int, unit_round: int):
+    def _async_unit_round(
+        self, unit: int, unit_round: int
+    ) -> "UnitRoundWork | RetryAt":
         resolved = self._async_unit_dynamics([unit])
         if isinstance(resolved, RetryAt):
             return resolved

@@ -21,10 +21,17 @@ notion of an anonymous background transmitter.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator
 
 import numpy as np
 
 from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (layering)
+    from repro.sim.engine import Environment
+    from repro.sim.events import Event
+    from repro.sim.resources import FairShareLink
+    from repro.sim.runtime import Runtime
 
 __all__ = ["CrossTrafficConfig", "start_cross_traffic"]
 
@@ -53,7 +60,12 @@ class CrossTrafficConfig:
             raise ValueError(f"load must be in (0, 1], got {self.load}")
 
 
-def _burst_source(env, medium, rng: np.random.Generator, config: CrossTrafficConfig):
+def _burst_source(
+    env: "Environment",
+    medium: "FairShareLink",
+    rng: np.random.Generator,
+    config: CrossTrafficConfig,
+) -> "Generator[Event, Any, None]":
     nominal_bps = config.load * medium.capacity_bps
     while True:
         yield env.timeout(float(rng.exponential(config.mean_idle_s)))
@@ -62,7 +74,7 @@ def _burst_source(env, medium, rng: np.random.Generator, config: CrossTrafficCon
         yield medium.transfer(config.burst_bits, nominal=nominal_bps)
 
 
-def start_cross_traffic(runtime, config: CrossTrafficConfig) -> int:
+def start_cross_traffic(runtime: "Runtime", config: CrossTrafficConfig) -> int:
     """Arm ``config.num_sources`` burst processes on ``runtime``'s medium.
 
     Returns the number of sources started (0 for zero-priced runtimes

@@ -437,7 +437,9 @@ class FairShareLink:
         self.env._schedule(self.env.now + eta, completion, None)
         completion.add_callback(self._make_uniform_finisher(flow, completion))
 
-    def _make_uniform_finisher(self, flow: _Flow, completion: Event):
+    def _make_uniform_finisher(
+        self, flow: _Flow, completion: Event
+    ) -> Callable[[Event], None]:
         def _finish(_: Event) -> None:
             # Superseded head (membership changed since arming): ignore.
             if completion is not self._head_event or not flow.alive:
@@ -481,7 +483,9 @@ class FairShareLink:
         if dropped is not None:
             self._load = dropped[1]
 
-    def _make_static_finisher(self, flow: _Flow, completion: Event):
+    def _make_static_finisher(
+        self, flow: _Flow, completion: Event
+    ) -> Callable[[Event], None]:
         def _finish(_: Event) -> None:
             if (
                 flow.completion is not completion
@@ -595,7 +599,9 @@ class FairShareLink:
             self.env._schedule(self.env.now + eta, completion, None)
             completion.add_callback(self._make_dense_finisher(flow, completion))
 
-    def _make_dense_finisher(self, flow: _Flow, completion: Event):
+    def _make_dense_finisher(
+        self, flow: _Flow, completion: Event
+    ) -> Callable[[Event], None]:
         def _finish(_: Event) -> None:
             # Stale completion (rate changed since scheduling): ignore.
             if flow.completion is not completion or flow.done.triggered:

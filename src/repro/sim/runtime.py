@@ -43,7 +43,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import TYPE_CHECKING, Callable, Union
+from typing import TYPE_CHECKING, Any, Callable, Generator, Union
 
 from repro.sim.engine import Environment
 from repro.sim.resources import FairShareLink, NominalShare, Resource, SharePolicy
@@ -51,6 +51,7 @@ from repro.sim.trace import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (layering)
     from repro.schemes.base import Stage
+    from repro.sim.events import Event
     from repro.sim.failures import FailureInjector
 
 __all__ = [
@@ -460,7 +461,7 @@ class Runtime:
                             phase=act.phase,
                             actor=f"client-{leg.client}",
                             round_index=round_index,
-                            nbytes=int(round(leg.nbits / 8)),
+                            nbytes=int(leg.nbits / 8 + 0.5),
                             detail=leg.direction or act.detail,
                         )
                 else:
@@ -535,7 +536,7 @@ class Runtime:
         slowdown: dict[int, float] | None,
         progress: "_TransferProgress | None" = None,
         leg_log: "list[tuple[TransmitLeg, float, float]] | None" = None,
-    ):
+    ) -> "Generator[Event, Any, None]":
         injector = self.failure_injector
         if isinstance(demand, TransmitDemand) and self.medium is not None:
             # Resume semantics: legs a previous preempted attempt already
@@ -592,7 +593,7 @@ class Runtime:
         demand: TransmitDemand,
         injector: "FailureInjector",
         progress: "_TransferProgress | None" = None,
-    ):
+    ) -> "Generator[Event, Any, None]":
         """One leg on the shared medium, raced against its client's churn.
 
         The completion time of a contended flow is unknown up front (any

@@ -39,12 +39,13 @@ commit as an :class:`UpdateRecord` — the rows behind the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Generator, Sequence
 
 from repro.sim.engine import Environment
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports (layering)
     from repro.schemes.base import Activity, Stage
+    from repro.sim.events import Event
     from repro.sim.runtime import Runtime, TrackRecovery
     from repro.sim.trace import TraceRecorder
 
@@ -124,7 +125,7 @@ class SyncBarrier(StalenessPolicy):
         env = runtime.env
         start = env.now
 
-        def round_process():
+        def round_process() -> "Generator[Event, Any, None]":
             for stage in stages:
                 if not stage.tracks:
                     continue
@@ -328,7 +329,7 @@ class AggregationServer:
             return True
         return self.completed[unit] - min(self.completed) <= lag
 
-    def gate(self, unit: int):
+    def gate(self, unit: int) -> "Generator[Event, Any, None]":
         """Process generator: wait until the lag gate clears for ``unit``."""
         while not self.may_start(unit):
             yield self._progress
@@ -415,7 +416,7 @@ class AggregationServer:
             raise ValueError(f"num_rounds must be >= 1, got {num_rounds}")
         env = self.env
 
-        def unit_process(unit: int):
+        def unit_process(unit: int) -> "Generator[Event, Any, None]":
             for round_index in range(num_rounds):
                 yield from self.gate(unit)
                 while True:

@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator
+
+from repro.devtools.trace_schema import validate_row
 
 __all__ = [
     "TraceEvent",
@@ -46,6 +48,13 @@ PHASES = (
 
 #: how a preempted activity was resolved (see ``TrackRecovery``)
 ABORT_RESOLUTIONS = ("retry", "reroute", "surrender")
+
+
+def _validated(rows: "list[dict[str, object]]") -> "list[dict[str, object]]":
+    """Check rendered rows against the canonical trace-schema registry."""
+    for row in rows:
+        validate_row(row)
+    return rows
 
 
 @dataclass(frozen=True)
@@ -193,7 +202,7 @@ class TraceRecorder:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
 
     # ------------------------------------------------------------------
@@ -233,9 +242,14 @@ class TraceRecorder:
     def total_bytes(self) -> int:
         return sum(e.nbytes for e in self.events)
 
-    def to_rows(self) -> list[dict]:
-        """Events as plain dicts (JSONL export, external tooling)."""
-        return [
+    def to_rows(self) -> "list[dict[str, object]]":
+        """Events as plain dicts (JSONL export, external tooling).
+
+        Every renderer below validates its rows against the canonical
+        registry (:mod:`repro.devtools.trace_schema`), so a field added
+        here without registering it fails at the first export.
+        """
+        return _validated([
             {
                 "type": "activity",
                 "start_s": e.start,
@@ -248,11 +262,11 @@ class TraceRecorder:
                 "detail": e.detail,
             }
             for e in self.events
-        ]
+        ])
 
-    def abort_rows(self) -> list[dict]:
+    def abort_rows(self) -> "list[dict[str, object]]":
         """Preemptions as plain dicts (the ``activity_abort`` JSONL rows)."""
-        return [
+        return _validated([
             {
                 "type": "activity_abort",
                 "start_s": e.start,
@@ -264,11 +278,11 @@ class TraceRecorder:
                 "resolution": e.resolution,
             }
             for e in self.aborts
-        ]
+        ])
 
-    def retry_rows(self) -> list[dict]:
+    def retry_rows(self) -> "list[dict[str, object]]":
         """Recovery re-attempts as plain dicts (the ``retry`` JSONL rows)."""
-        return [
+        return _validated([
             {
                 "type": "retry",
                 "time_s": e.time_s,
@@ -278,11 +292,11 @@ class TraceRecorder:
                 "attempt": e.attempt,
             }
             for e in self.retries
-        ]
+        ])
 
-    def regroup_rows(self) -> list[dict]:
+    def regroup_rows(self) -> "list[dict[str, object]]":
         """Re-partitions as plain dicts (the ``regroup`` JSONL rows)."""
-        return [
+        return _validated([
             {
                 "type": "regroup",
                 "time_s": e.time_s,
@@ -292,7 +306,7 @@ class TraceRecorder:
                 "changed": e.changed,
             }
             for e in self.regroups
-        ]
+        ])
 
     def filter(
         self, phases: Iterable[str] | None = None, actor_prefix: str | None = None

@@ -17,6 +17,7 @@ candidates and expose them for the resource-allocation ablation:
 from __future__ import annotations
 
 from collections import Counter
+from typing import Sequence
 
 import numpy as np
 
@@ -150,7 +151,13 @@ class AllocatorSharePolicy:
     #: contended allocations are membership-coupled: dense recomputation
     incremental_kind = "dense"
 
-    def update(self, added, removed, capacity, load):
+    def update(
+        self,
+        added: "Sequence[object]",
+        removed: "Sequence[object]",
+        capacity: float,
+        load: float,
+    ) -> "tuple[list[float], float] | None":
         """No incremental fast path: every change re-runs the allocator."""
         return None
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.rng import new_rng
 from repro.utils.validation import check_non_negative, check_positive
 
 __all__ = ["ChannelConfig", "WirelessChannel", "dbm_to_watts", "watts_to_dbm", "db_to_linear"]
@@ -81,13 +82,22 @@ class WirelessChannel:
         self,
         distances_m: np.ndarray,
         config: ChannelConfig | None = None,
-        rng: np.random.Generator | None = None,
+        rng: int | np.random.Generator | None = None,
     ) -> None:
         self.config = config or ChannelConfig()
         self.distances_m = np.asarray(distances_m, dtype=np.float64)
         if np.any(self.distances_m <= 0):
             raise ValueError("all distances must be positive")
-        self._rng = rng if rng is not None else np.random.default_rng()
+        if rng is None:
+            # A forgotten seed would silently unpin every downstream run
+            # (shadowing + fading come from this stream).  Callers that
+            # genuinely want OS entropy must say so: new_rng(None).
+            raise ValueError(
+                "WirelessChannel requires an explicit seed or Generator; "
+                "pass rng=<int seed> or rng=new_rng(seed) "
+                "(use new_rng(None) if OS entropy is really intended)"
+            )
+        self._rng = new_rng(rng)
         n = len(self.distances_m)
         if self.config.shadowing_std_db > 0:
             self._shadowing_db = self._rng.normal(0.0, self.config.shadowing_std_db, size=n)

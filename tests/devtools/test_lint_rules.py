@@ -1,0 +1,369 @@
+"""Fixture-snippet suite for the determinism lint rules.
+
+Each rule gets true-positive and true-negative cases driven through
+``lint_source`` with a path chosen to land in the rule's scope, plus the
+suppression-parsing contract (missing reason -> SUP001).
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools.lint import lint_paths, lint_source, main
+from repro.devtools.rules import ALL_RULES, rule_by_id
+
+LIB = "src/repro/sim/example.py"  # library path inside the ordered packages
+LIB_PLAIN = "src/repro/utils/example.py"  # library path outside them
+TESTS = "tests/sim/test_example.py"
+BENCH = "benchmarks/run_example.py"
+
+
+def findings(source: str, path: str = LIB) -> list:
+    return lint_source(textwrap.dedent(source), path).findings
+
+
+def rule_ids(source: str, path: str = LIB) -> list[str]:
+    return [f.rule for f in findings(source, path)]
+
+
+class TestDET001SeedlessRng:
+    def test_flags_argless_default_rng(self):
+        assert rule_ids("import numpy as np\nrng = np.random.default_rng()\n") == [
+            "DET001"
+        ]
+
+    def test_flags_literal_none_default_rng(self):
+        assert "DET001" in rule_ids(
+            "import numpy as np\nrng = np.random.default_rng(None)\n"
+        )
+
+    def test_flags_seedless_new_rng(self):
+        assert "DET001" in rule_ids("rng = new_rng()\n")
+        assert "DET001" in rule_ids("rng = new_rng(None)\n")
+        assert "DET001" in rule_ids("rng = new_rng(seed=None)\n")
+
+    def test_seeded_calls_pass(self):
+        assert rule_ids(
+            "import numpy as np\n"
+            "a = np.random.default_rng(0)\n"
+            "b = new_rng(seed)\n"
+            "c = new_rng(seed=config.seed)\n"
+        ) == []
+
+    def test_forwarded_parameter_passes(self):
+        # new_rng(seed) where seed *may* be None at runtime is the
+        # documented escape hatch — only literal None / empty calls flag.
+        assert "DET001" not in rule_ids(
+            "def f(seed=None):\n    return new_rng(seed)\n"
+        )
+
+    def test_tests_are_out_of_scope(self):
+        assert rule_ids("import numpy as np\nr = np.random.default_rng()\n", TESTS) == []
+
+    def test_benchmarks_are_in_scope(self):
+        assert "DET001" in rule_ids(
+            "import numpy as np\nr = np.random.default_rng()\n", BENCH
+        )
+
+
+class TestDET002WallClock:
+    def test_flags_time_module_reads(self):
+        for expr in ("time.time()", "time.perf_counter()", "time.monotonic()"):
+            assert "DET002" in rule_ids(f"import time\nt = {expr}\n"), expr
+
+    def test_flags_from_import_alias(self):
+        assert "DET002" in rule_ids(
+            "from time import perf_counter\nt = perf_counter()\n"
+        )
+
+    def test_flags_datetime_now(self):
+        assert "DET002" in rule_ids(
+            "import datetime\nd = datetime.datetime.now()\n"
+        )
+        assert "DET002" in rule_ids(
+            "from datetime import datetime\nd = datetime.now()\n"
+        )
+
+    def test_flags_bare_reference_passed_as_timer(self):
+        assert "DET002" in rule_ids("import time\ntimer = time.time\n")
+
+    def test_benchmarks_exempt(self):
+        assert rule_ids("import time\nt = time.perf_counter()\n", BENCH) == []
+
+    def test_unrelated_attributes_pass(self):
+        assert rule_ids(
+            "import time\ntime.sleep(0)\nrow = {'time_s': 1.0}\nx = obj.time\n"
+        ) == []
+
+    def test_env_now_passes(self):
+        assert rule_ids("now = env.now\n") == []
+
+
+class TestDET003SetIteration:
+    def test_flags_for_over_set_call(self):
+        assert "DET003" in rule_ids("for x in set(items):\n    go(x)\n")
+
+    def test_flags_for_over_set_literal(self):
+        assert "DET003" in rule_ids("for x in {1, 2, 3}:\n    go(x)\n")
+
+    def test_flags_comprehension_over_frozenset(self):
+        assert "DET003" in rule_ids("out = [f(x) for x in frozenset(xs)]\n")
+
+    def test_flags_enumerate_wrapped_set(self):
+        assert "DET003" in rule_ids("for i, x in enumerate(set(xs)):\n    go(x)\n")
+
+    def test_sorted_set_passes(self):
+        assert rule_ids("for x in sorted(set(items)):\n    go(x)\n") == []
+
+    def test_list_iteration_passes(self):
+        assert rule_ids("for x in [1, 2]:\n    go(x)\n") == []
+
+    def test_out_of_scope_package_passes(self):
+        # hash-order iteration outside sim/schemes/experiments is not flagged
+        assert rule_ids("for x in set(items):\n    go(x)\n", LIB_PLAIN) == []
+
+
+class TestDET004StdlibRandom:
+    def test_flags_import_random(self):
+        assert rule_ids("import random\n") == ["DET004"]
+
+    def test_flags_from_random_import(self):
+        assert rule_ids("from random import choice\n") == ["DET004"]
+
+    def test_numpy_random_passes(self):
+        assert rule_ids("import numpy as np\nr = np.random.default_rng(3)\n") == []
+
+    def test_applies_to_tests_too(self):
+        assert rule_ids("import random\n", TESTS) == ["DET004"]
+
+
+class TestDET005BankersRounding:
+    def test_flags_int_round(self):
+        assert rule_ids("n = int(round(p * len(xs)))\n") == ["DET005"]
+
+    def test_explicit_direction_passes(self):
+        assert rule_ids(
+            "import math\n"
+            "a = int(p * n + 0.5)\n"
+            "b = math.floor(x)\n"
+            "c = int(x)\n"
+        ) == []
+
+    def test_round_with_digits_alone_passes(self):
+        # bare round() for display is not the int-coercion sampling hazard
+        assert rule_ids("x = round(value, 3)\n") == []
+
+
+class TestSIM001ApiMisuse:
+    # fixtures use the tests/ path: SIM001 applies everywhere, and the
+    # unannotated fixture defs must not also trip TYP001
+    def test_flags_succeed_after_cancel(self):
+        src = """
+        def f(env, ev):
+            env.cancel(ev)
+            ev.succeed()
+        """
+        assert rule_ids(src, TESTS) == ["SIM001"]
+
+    def test_reassignment_clears_cancel(self):
+        src = """
+        def f(env, ev):
+            env.cancel(ev)
+            ev = env.event()
+            other(ev)
+            ev.succeed()
+        """
+        assert rule_ids(src, TESTS) == []
+
+    def test_flags_cancel_of_never_scheduled_event(self):
+        src = """
+        def f(env):
+            ev = env.event()
+            env.cancel(ev)
+        """
+        assert rule_ids(src, TESTS) == ["SIM001"]
+
+    def test_escaped_event_cancel_passes(self):
+        src = """
+        def f(env, link):
+            ev = env.event()
+            link.arm(ev)
+            env.cancel(ev)
+        """
+        assert rule_ids(src, TESTS) == []
+
+    def test_scheduled_then_cancelled_passes(self):
+        src = """
+        def f(env):
+            t = env.timeout(1.0)
+            env.cancel(t)
+        """
+        assert rule_ids(src, TESTS) == []
+
+    def test_separate_functions_do_not_couple(self):
+        src = """
+        def a(env, ev):
+            env.cancel(ev)
+
+        def b(env, ev):
+            ev.succeed()
+        """
+        assert rule_ids(src, TESTS) == []
+
+
+class TestTRC001TraceSchema:
+    def test_registered_type_with_exact_fields_passes(self):
+        src = """
+        row = {"type": "retry", "time_s": 0.0, "actor": "client-0",
+               "round": 0, "client": 0, "attempt": 1}
+        """
+        assert rule_ids(src) == []
+
+    def test_field_drift_flagged(self):
+        src = """
+        row = {"type": "retry", "time_s": 0.0, "actor": "client-0",
+               "round": 0, "client": 0, "attempt": 1, "extra_field": 1}
+        """
+        ids = rule_ids(src)
+        assert ids == ["TRC001"]
+
+    def test_missing_field_flagged(self):
+        src = 'row = {"type": "energy_summary", "tx_j": 1.0}\n'
+        assert rule_ids(src) == ["TRC001"]
+
+    def test_unknown_type_flagged_only_in_registry_importers(self):
+        src = 'row = {"type": "mystery", "x": 1}\n'
+        assert rule_ids(src) == []  # plain module: not a trace emitter
+        importer = (
+            "from repro.devtools.trace_schema import TRACE_SCHEMAS\n" + src
+        )
+        assert rule_ids(importer) == ["TRC001"]
+
+    def test_non_trace_dicts_pass(self):
+        assert rule_ids('cfg = {"mode": "fast", "seed": 3}\n') == []
+
+
+class TestTYP001Annotations:
+    def test_flags_unannotated_params_and_return(self):
+        src = """
+        def f(a, b):
+            return a + b
+        """
+        assert rule_ids(src) == ["TYP001"]
+
+    def test_fully_annotated_passes(self):
+        src = """
+        def f(a: int, *args: str, k: float = 0.0, **kw: object) -> int:
+            return a
+        """
+        assert rule_ids(src) == []
+
+    def test_init_may_omit_return(self):
+        src = """
+        class C:
+            def __init__(self, x: int):
+                self.x = x
+        """
+        assert rule_ids(src) == []
+
+    def test_tests_exempt(self):
+        assert rule_ids("def f(a, b):\n    return a\n", TESTS) == []
+
+
+class TestSuppressions:
+    def test_same_line_suppression_with_reason(self):
+        src = "import random  # repro: disable=DET004 (fixture exercising the rule)\n"
+        assert rule_ids(src) == []
+
+    def test_standalone_suppression_covers_next_line(self):
+        src = (
+            "# repro: disable=DET004 (fixture exercising the rule)\n"
+            "import random\n"
+        )
+        assert rule_ids(src) == []
+
+    def test_missing_reason_is_its_own_finding(self):
+        src = "import random  # repro: disable=DET004\n"
+        ids = rule_ids(src)
+        assert "SUP001" in ids and "DET004" in ids  # finding NOT suppressed
+
+    def test_empty_reason_rejected(self):
+        src = "import random  # repro: disable=DET004 ()\n"
+        ids = rule_ids(src)
+        assert "SUP001" in ids and "DET004" in ids
+
+    def test_unknown_rule_rejected(self):
+        src = "import random  # repro: disable=NOPE999 (because)\n"
+        ids = rule_ids(src)
+        assert "SUP001" in ids and "DET004" in ids
+
+    def test_suppression_only_silences_named_rules(self):
+        src = (
+            "import random  # repro: disable=DET001 (wrong rule named)\n"
+        )
+        assert "DET004" in rule_ids(src)
+
+    def test_suppression_comment_inside_string_is_ignored(self):
+        src = "s = 'repro: disable=DET004'\nimport random\n"
+        assert rule_ids(src) == ["DET004"]
+
+    def test_multi_rule_suppression(self):
+        src = (
+            "# repro: disable=DET002,DET004 (fixture exercising both rules)\n"
+            "import random\n"
+        )
+        assert rule_ids(src) == []
+
+
+class TestEngine:
+    def test_syntax_error_reported_not_raised(self):
+        ids = rule_ids("def broken(:\n")
+        assert ids == ["PAR001"]
+
+    def test_every_rule_documents_itself(self):
+        for rule in ALL_RULES:
+            assert rule.rule_id and rule.title and len(rule.doc) > 40
+
+    def test_rule_lookup(self):
+        assert rule_by_id("DET001").rule_id == "DET001"
+        with pytest.raises(KeyError):
+            rule_by_id("XXX000")
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("import random\n")
+        (pkg / "good.py").write_text("x = 1\n")
+        report = lint_paths([str(tmp_path)])
+        assert [f.rule for f in report.findings] == ["DET004"]
+        assert report.files_checked == 2
+
+    def test_cli_exit_codes_and_json(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro"
+        target.mkdir(parents=True)
+        (target / "mod.py").write_text("import random\n")
+        out_file = tmp_path / "lint.json"
+        code = main([str(tmp_path), "--format", "json", "--output", str(out_file)])
+        assert code == 1
+        payload = json.loads(out_file.read_text())
+        assert payload["ok"] is False
+        assert payload["counts"] == {"DET004": 1}
+        assert payload["findings"][0]["rule"] == "DET004"
+        capsys.readouterr()
+
+    def test_cli_clean_tree_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro"
+        target.mkdir(parents=True)
+        (target / "mod.py").write_text("X: int = 1\n")
+        assert main([str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.rule_id in out
+        assert "SUP001" in out

@@ -1,0 +1,115 @@
+"""Golden pin of the canonical trace-row schema registry.
+
+The field sets below are written out literally on purpose: a field
+added or removed in ``repro.devtools.trace_schema`` must fail *here*
+(prompting a deliberate schema bump) rather than silently reshaping
+every consumer at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.trace_schema import (
+    REPLAY_AVAILABILITY_REQUIRED,
+    REPLAY_META_REQUIRED,
+    ROW_TYPES,
+    TRACE_SCHEMAS,
+    fields_of,
+    validate_row,
+)
+
+#: golden copy — keep in lockstep with trace_schema.TRACE_SCHEMAS
+PINNED_SCHEMAS = {
+    "meta": {
+        "type", "scheme", "scenario", "seed", "rounds", "medium", "transport",
+        "aggregation", "failure_model", "grouping", "regroup", "regroup_every",
+        "num_clients", "num_groups", "dynamics", "total_latency_s", "events",
+        "aborts", "retries", "regroups",
+    },
+    "availability": {"type", "client", "toggles"},
+    "round_conditions": {
+        "type", "round", "time_s", "available", "participants", "slowdowns",
+    },
+    "activity": {
+        "type", "start_s", "end_s", "duration_s", "phase", "actor", "round",
+        "nbytes", "detail",
+    },
+    "activity_abort": {
+        "type", "start_s", "time_s", "phase", "actor", "round", "client",
+        "resolution",
+    },
+    "retry": {"type", "time_s", "actor", "round", "client", "attempt"},
+    "regroup": {"type", "time_s", "round", "policy", "groups", "changed"},
+    "round_timing": {"type", "round", "des_s", "analytic_s", "lower_bound_s"},
+    "aggregation_update": {
+        "type", "unit", "unit_round", "time_s", "staleness", "alpha", "weight",
+    },
+    "energy": {"type", "actor", "tx_j", "rx_j", "compute_j", "idle_j", "total_j"},
+    "energy_summary": {"type", "tx_j", "rx_j", "compute_j", "idle_j", "total_j"},
+}
+
+
+class TestRegistryPins:
+    def test_row_types_pinned(self):
+        assert set(TRACE_SCHEMAS) == set(PINNED_SCHEMAS)
+        assert ROW_TYPES == tuple(sorted(PINNED_SCHEMAS))
+
+    @pytest.mark.parametrize("row_type", sorted(PINNED_SCHEMAS))
+    def test_field_sets_pinned(self, row_type):
+        assert TRACE_SCHEMAS[row_type] == PINNED_SCHEMAS[row_type], (
+            f"schema of {row_type!r} changed — if deliberate, update this "
+            f"pin AND every producer/consumer together"
+        )
+
+    def test_every_row_type_has_type_field(self):
+        for row_type, fields in TRACE_SCHEMAS.items():
+            assert "type" in fields, row_type
+
+    def test_replay_requirements_are_schema_subsets(self):
+        assert REPLAY_META_REQUIRED <= TRACE_SCHEMAS["meta"]
+        assert REPLAY_AVAILABILITY_REQUIRED <= TRACE_SCHEMAS["availability"]
+
+
+class TestFieldsOf:
+    def test_known_type(self):
+        assert fields_of("retry") is TRACE_SCHEMAS["retry"]
+
+    def test_unknown_type_raises_with_catalog(self):
+        with pytest.raises(ValueError, match="unknown trace row type"):
+            fields_of("mystery")
+
+
+class TestValidateRow:
+    def _row(self, row_type, **overrides):
+        row = {field: None for field in TRACE_SCHEMAS[row_type]}
+        row["type"] = row_type
+        row.update(overrides)
+        return row
+
+    @pytest.mark.parametrize("row_type", sorted(PINNED_SCHEMAS))
+    def test_exact_rows_validate(self, row_type):
+        validate_row(self._row(row_type))
+
+    def test_extra_field_rejected(self):
+        row = self._row("retry")
+        row["extra"] = 1
+        with pytest.raises(ValueError, match="extra=\\['extra'\\]"):
+            validate_row(row)
+
+    def test_missing_field_rejected(self):
+        row = self._row("retry")
+        del row["attempt"]
+        with pytest.raises(ValueError, match="missing=\\['attempt'\\]"):
+            validate_row(row)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace row type"):
+            # repro: disable=TRC001 (fixture: an unregistered type is the input under test)
+            validate_row({"type": "mystery"})
+
+    def test_typeless_row_rejected(self):
+        with pytest.raises(ValueError, match="no string 'type'"):
+            validate_row({"client": 0})
+        with pytest.raises(ValueError, match="no string 'type'"):
+            validate_row({"type": 7})

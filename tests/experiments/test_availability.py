@@ -204,6 +204,7 @@ class TestTraceReplay:
 
     def test_streams_load_and_stay_finite(self, tmp_path):
         path = self._write(tmp_path, [
+            # repro: disable=TRC001 (minimal fixture row; the replay parser must tolerate partial meta)
             {"type": "meta"},
             {"type": "availability", "client": 0, "toggles": [1.0, 2.0]},
             {"type": "availability", "client": 2, "toggles": [0.5]},

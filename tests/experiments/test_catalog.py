@@ -126,6 +126,7 @@ class TestRecordReplay:
 
     def test_replay_of_unregistered_scenario_falls_back_to_fast(self, tmp_path):
         path = tmp_path / "foreign.jsonl"
+        # repro: disable=TRC001 (deliberately partial meta: foreign/older traces fall back to the base world)
         path.write_text(json.dumps({
             "type": "meta", "scenario": "retired-world", "seed": 2,
             "num_clients": 6, "num_groups": 2,
@@ -138,6 +139,7 @@ class TestRecordReplay:
 
     def test_replay_rebuilds_fleet_on_size_mismatch(self, tmp_path):
         path = tmp_path / "big.jsonl"
+        # repro: disable=TRC001 (deliberately partial meta: replay must rebuild the fleet from the shape fields alone)
         path.write_text(json.dumps({
             "type": "meta", "scenario": "fast", "seed": 0,
             "num_clients": 9, "num_groups": 3, "dynamics": None,
@@ -147,6 +149,7 @@ class TestRecordReplay:
 
     def test_replay_without_meta_row_rejected(self, tmp_path):
         path = tmp_path / "bare.jsonl"
+        # repro: disable=TRC001 (bare row on purpose: a trace with no meta must be rejected)
         path.write_text(json.dumps({"type": "activity"}) + "\n")
         with pytest.raises(ValueError, match="no leading 'meta' row"):
             get_scenario(f"replay:{path}")

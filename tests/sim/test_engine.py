@@ -225,9 +225,11 @@ class TestLazyCancellation:
         env = Environment()
         env.timeout(1.0)
         unscheduled = env.event()
+        # repro: disable=SIM001 (deliberately exercises the cancel-unscheduled no-op guard)
         env.cancel(unscheduled)
         assert env.pending == 1
         assert not unscheduled.cancelled
+        # repro: disable=SIM001 (the no-op cancel must leave the event usable)
         unscheduled.succeed("still fine")
         assert unscheduled.value == "still fine"
         env.run()
@@ -256,6 +258,7 @@ class TestLazyCancellation:
         ev = env.timeout(1.0)
         env.cancel(ev)
         with pytest.raises(RuntimeError, match="cancelled"):
+            # repro: disable=SIM001 (deliberately exercises the succeed-after-cancel runtime guard)
             ev.succeed()
 
     def test_run_until_deadline_skips_cancelled_head(self):

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.devtools.trace_schema import TRACE_SCHEMAS
 
 
 class TestParser:
@@ -226,35 +227,11 @@ class TestCommands:
         assert code == 0
 
 
-#: exact key sets of every ``--trace-out`` JSONL record type
-TRACE_SCHEMAS = {
-    "meta": {
-        "type", "scheme", "scenario", "seed", "rounds", "medium", "transport",
-        "aggregation", "failure_model", "grouping", "regroup", "regroup_every",
-        "num_clients", "num_groups", "dynamics", "total_latency_s", "events",
-        "aborts", "retries", "regroups",
-    },
-    "availability": {"type", "client", "toggles"},
-    "round_conditions": {
-        "type", "round", "time_s", "available", "participants", "slowdowns",
-    },
-    "activity": {
-        "type", "start_s", "end_s", "duration_s", "phase", "actor", "round",
-        "nbytes", "detail",
-    },
-    "activity_abort": {
-        "type", "start_s", "time_s", "phase", "actor", "round", "client",
-        "resolution",
-    },
-    "retry": {"type", "time_s", "actor", "round", "client", "attempt"},
-    "regroup": {"type", "time_s", "round", "policy", "groups", "changed"},
-    "round_timing": {"type", "round", "des_s", "analytic_s", "lower_bound_s"},
-    "aggregation_update": {
-        "type", "unit", "unit_round", "time_s", "staleness", "alpha", "weight",
-    },
-    "energy": {"type", "actor", "tx_j", "rx_j", "compute_j", "idle_j", "total_j"},
-    "energy_summary": {"type", "tx_j", "rx_j", "compute_j", "idle_j", "total_j"},
-}
+# The trace schemas are defined exactly once in
+# ``repro.devtools.trace_schema`` (imported at the top of this module) —
+# the recorder, the CLI exporter, the replay parsers and this pin suite
+# all read the same registry.  The literal field sets themselves are
+# pinned by ``tests/devtools/test_trace_schema.py``.
 
 
 class TestTraceRoundTrip:
